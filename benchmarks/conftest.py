@@ -1,0 +1,20 @@
+"""Benchmark harness conventions.
+
+Each benchmark runs one full experiment (all workloads, all
+configurations) exactly once — ``pedantic(rounds=1, iterations=1)`` —
+because an experiment is itself hundreds of thousands of simulated
+accesses; and prints the regenerated figure/table so ``pytest
+benchmarks/ --benchmark-only -s`` reproduces the paper's rows verbatim.
+"""
+
+from __future__ import annotations
+
+
+def run_experiment(benchmark, module, **kwargs):
+    """Run ``module.run`` once under the benchmark timer and print it."""
+    result = benchmark.pedantic(
+        module.run, kwargs=kwargs, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    return result

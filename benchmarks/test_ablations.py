@@ -1,0 +1,38 @@
+"""Benchmarks: ablations of CLAP's design choices (see DESIGN.md)."""
+
+from repro.experiments import ablations
+
+
+def test_pmm_threshold_insensitive(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_pmm_threshold, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    # Paper: 30% threshold costs ~1.3% on average.
+    assert result.summary["gmean_30pct_vs_20pct"] > 0.93
+
+
+def test_remote_tracker_matters_for_shared_structures(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_remote_tracker, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    # Without the RT relaxation, matrix B falls back to small pages and
+    # the ML workloads lose performance.
+    assert result.summary["gmean_no_rt_vs_clap"] < 1.0
+    for row in result.rows:
+        if row.config != "CLAP_no_RT":
+            continue
+        assert row.extra["selection_with"]["matrix_B"] == "2MB"
+        assert row.extra["selection_without"]["matrix_B"] != "2MB"
+
+
+def test_coalescing_supplies_the_reach(benchmark):
+    result = benchmark.pedantic(
+        ablations.run_coalescing, rounds=1, iterations=1
+    )
+    print()
+    print(result.format())
+    assert result.summary["gmean_no_coalescing_vs_clap"] < 1.0

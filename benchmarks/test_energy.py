@@ -1,0 +1,18 @@
+"""Benchmark: the energy study (paper motivation, not a paper figure)."""
+
+from repro.experiments import energy
+
+
+def test_energy(benchmark):
+    result = benchmark.pedantic(energy.run, rounds=1, iterations=1)
+    print()
+    print(result.format())
+    s = result.summary
+    # Misplaced large pages burn ring + DRAM energy; CLAP stays near the
+    # fine-placement floor.
+    assert s["gmean_energy_S-2MB"] > s["gmean_energy_CLAP"]
+    assert s["gmean_energy_CLAP"] < 1.35
+    # Locality-sensitive workloads show a large ring share under S-2MB.
+    ste = result.row("STE", "S-2MB")
+    assert ste.extra["ring_share"] > 0.15
+    assert result.row("STE", "CLAP").extra["ring_share"] < 0.02

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Figure 1 (page-size impact, 8 workloads)."""
+
+from repro.experiments import fig01_page_size_intro
+
+from .conftest import run_experiment
+
+
+def test_fig01(benchmark):
+    result = run_experiment(benchmark, fig01_page_size_intro)
+    # Left workloads degrade at 2MB; right workloads benefit.
+    for workload in ("STE", "3DC", "LPS", "SC"):
+        assert result.row(workload, "2MB").value < (
+            result.row(workload, "64KB").value
+        )
+        assert result.row(workload, "2MB").remote_ratio > 0.5
+    for workload in ("DWT", "LUD", "GPT3"):
+        assert result.row(workload, "2MB").value > (
+            result.row(workload, "4KB").value
+        )
+    # Intro claim: 64KB and 2MB cut average translation latency vs 4KB.
+    assert result.summary["avg_translation_reduction_64KB"] > 0.1
+    assert result.summary["avg_translation_reduction_2MB"] > (
+        result.summary["avg_translation_reduction_64KB"]
+    )

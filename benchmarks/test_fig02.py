@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 2 (remote caching vs page size)."""
+
+from repro.experiments import fig02_remote_caching
+
+from .conftest import run_experiment
+
+
+def test_fig02(benchmark):
+    result = run_experiment(benchmark, fig02_remote_caching)
+    s = result.summary
+    # Paper: NUBA +13.1%, SAC +5.8%, 64KB +36.7% over 2MB-no-caching.
+    assert 1.0 < s["gmean_2MB+NUBA"] < 1.45
+    assert 1.0 <= s["gmean_2MB+SAC"] < s["gmean_2MB+NUBA"]
+    assert s["gmean_64KB_No_RC"] > s["gmean_2MB+NUBA"]
+    assert s["gmean_64KB_No_RC"] > 1.2

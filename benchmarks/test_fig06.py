@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 6 (full page-size sweep, 15 workloads)."""
+
+from repro.experiments import fig06_page_size_sweep
+from repro.units import KB, MB
+
+from .conftest import run_experiment
+
+
+def test_fig06(benchmark):
+    result = run_experiment(benchmark, fig06_page_size_sweep)
+    best = {
+        w: fig06_page_size_sweep.best_size(result, w)
+        for w in result.workloads()
+    }
+    # Intermediate-size winners (paper: STE/LPS best at 256KB-ish,
+    # PAF/SC around 128KB).
+    assert best["STE"] in (128 * KB, 256 * KB)
+    assert best["LPS"] in (128 * KB, 256 * KB)
+    assert best["PAF"] in (64 * KB, 128 * KB, 256 * KB)
+    # 3DC prefers small pages.
+    assert best["3DC"] == 64 * KB
+    # Right-side workloads improve all the way to 2MB (within a 2% tie
+    # against 1MB, since their remote ratio is already flat).
+    for workload in ("2DC", "FDT", "BLK", "DWT", "LUD", "GPT3", "RES50"):
+        peak = result.row(workload, "2MB").value
+        top = max(
+            r.value for r in result.rows if r.workload == workload
+        )
+        assert peak >= 0.98 * top, workload
+        assert peak > result.row(workload, "64KB").value, workload
+    # Remote ratio flat for right-side workloads, rising for left-side.
+    assert result.row("BLK", "2MB").remote_ratio < 0.05
+    assert result.row("STE", "2MB").remote_ratio > 0.5

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (per-structure sensitivity)."""
+
+from repro.experiments import fig08_structure_sensitivity
+
+from .conftest import run_experiment
+
+
+def test_fig08(benchmark):
+    result = run_experiment(benchmark, fig08_structure_sensitivity)
+    # 3DC's structures share their sensitivity...
+    for label in ("64KB", "512KB", "2MB"):
+        a = result.row("3DC.vol_in", label).value
+        b = result.row("3DC.vol_out", label).value
+        assert abs(a - b) < 0.15
+    # ...BFS's diverge: edges stay local at 2MB, frontier goes remote.
+    assert result.row("BFS.edges", "2MB").value < 0.1
+    assert result.row("BFS.frontier", "2MB").value > 0.4

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (chiplet-locality proportions)."""
+
+from repro.experiments import fig10_chiplet_locality
+
+from .conftest import run_experiment
+
+
+def test_fig10(benchmark):
+    result = run_experiment(benchmark, fig10_chiplet_locality)
+    # Paper: 93.5% average; high everywhere, with irregular workloads
+    # (SSSP) below the regular ones.
+    assert result.summary["average"] > 0.9
+    assert result.row("SSSP", "locality").value < 1.0
+    for workload in ("STE", "2DC", "GPT3"):
+        assert result.row(workload, "locality").value == 1.0

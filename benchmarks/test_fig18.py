@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Figure 18 (the main result, 9 configs x 15)."""
+
+from repro.experiments import fig18_main
+
+from .conftest import run_experiment
+
+
+def test_fig18(benchmark):
+    result = run_experiment(benchmark, fig18_main)
+    s = result.summary
+    # Paper's headline comparisons (geometric means):
+    # CLAP +17.5% over S-64KB, +19.2% over S-2MB.
+    assert 1.08 < s["clap_over_S-64KB"] < 1.30
+    assert 1.05 < s["clap_over_S-2MB"] < 1.30
+    # CLAP beats every baseline on average.
+    for other in ("Ideal_C-NUMA", "Ideal_C-NUMA+inter", "GRIT", "MGvm",
+                  "F-Barre"):
+        assert s[f"clap_over_{other}"] > 1.0, other
+    # GRIT tracks S-64KB (fixed 64KB pages, locality already good).
+    assert abs(s["gmean_GRIT"] - 1.0) < 0.05
+    # Ideal bounds CLAP from above.
+    assert s["ideal_over_clap"] > 1.0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 19 (static-analysis configurations)."""
+
+from repro.experiments import fig19_static_analysis
+
+from .conftest import run_experiment
+
+
+def test_fig19(benchmark):
+    result = run_experiment(benchmark, fig19_static_analysis)
+    s = result.summary
+    # Paper: CLAP-SA +18.8%/+16.1% over SA-64KB/SA-2MB;
+    # CLAP-SA++ +23.7%/+21.0% with remote ratio down to 13.6%.
+    assert s["gmean_CLAP-SA"] > 1.08
+    assert s["clap_sa_over_sa2mb"] > 1.0
+    assert s["gmean_CLAP-SA++"] > s["gmean_CLAP-SA"]
+    assert s["clap_sa_pp_over_sa2mb"] > s["clap_sa_over_sa2mb"]
+    assert s["avg_remote_clap_sa_pp"] < 0.2

@@ -1,0 +1,19 @@
+"""Benchmark: regenerate Figure 20 (cross-kernel reuse + migration)."""
+
+from repro.experiments import fig20_migration
+
+from .conftest import run_experiment
+
+
+def test_fig20(benchmark):
+    result = run_experiment(benchmark, fig20_migration)
+    s = result.summary
+    # CLAP+migration wins; CLAP alone cannot remap C*.
+    assert s["perf_CLAP+migration"] > s["perf_CLAP"]
+    assert s["perf_CLAP+migration"] > s["perf_Ideal_C-NUMA"]
+    assert s["perf_CLAP"] > s["perf_S-64KB"]
+    clap_row = result.row("GEMM-RU", "CLAP")
+    mig_row = result.row("GEMM-RU", "CLAP+migration")
+    assert clap_row.extra["migrations"] == 0
+    assert mig_row.extra["migrations"] > 0
+    assert mig_row.extra["cstar_remote"] < clap_row.extra["cstar_remote"]

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 21 (caching synergy with CLAP)."""
+
+from repro.experiments import fig21_caching_synergy
+
+from .conftest import run_experiment
+
+
+def test_fig21(benchmark):
+    result = run_experiment(benchmark, fig21_caching_synergy)
+    s = result.summary
+    # Caching on top of S-2MB adds a little; CLAP alone adds more; the
+    # combination is best (paper: NUBA 4.8% -> 23.9% over the baseline).
+    assert s["gmean_S-2MB+NUBA"] > 1.0
+    assert s["gmean_CLAP"] > s["gmean_S-2MB+NUBA"]
+    assert s["gmean_CLAP+NUBA"] >= s["gmean_CLAP"]
+    assert s["gmean_CLAP+SAC"] >= s["gmean_CLAP"] * 0.99
+    assert s["gmean_CLAP+NUBA"] == max(s.values())

@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Figure 22 (8-chiplet scaling)."""
+
+from repro.experiments import fig18_main, fig22_eight_chiplets
+
+from .conftest import run_experiment
+
+
+def test_fig22(benchmark):
+    result = run_experiment(benchmark, fig22_eight_chiplets)
+    s = result.summary
+    # Paper: +13.3% over S-64KB, +21.5% over S-2MB at 8 chiplets.
+    assert s["gmean_CLAP_over_S-64KB"] > 1.08
+    assert s["gmean_CLAP_over_S-2MB"] > 1.08
+
+
+def test_fig22_margin_widens_vs_4_chiplets(benchmark):
+    """The key scaling claim: CLAP's margin over indiscriminate 2MB
+    paging grows with the chiplet count."""
+    def both():
+        eight = fig22_eight_chiplets.run()
+        four = fig18_main.run()
+        return four, eight
+
+    four, eight = benchmark.pedantic(both, rounds=1, iterations=1)
+    assert (
+        eight.summary["gmean_CLAP_over_S-2MB"]
+        > four.summary["clap_over_S-2MB"]
+    )

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate the Section 2.6 interleaving ablation."""
+
+from repro.experiments import sec26_interleaving
+
+from .conftest import run_experiment
+
+
+def test_sec26(benchmark):
+    result = run_experiment(benchmark, sec26_interleaving)
+    s = result.summary
+    # Paper: NUMA-aware layout alone ~0.6% from naive; +FT = +42%.
+    assert abs(s["gmean_numa_no_opt_vs_naive"] - 1.0) < 0.08
+    assert s["gmean_numa_ft_vs_naive"] > 1.2

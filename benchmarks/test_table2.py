@@ -1,0 +1,28 @@
+"""Benchmark: regenerate Table 2 (workload characteristics)."""
+
+from repro.experiments import table2_workloads
+
+from .conftest import run_experiment
+
+
+def test_table2(benchmark):
+    result = run_experiment(benchmark, table2_workloads)
+    for workload in result.workloads():
+        # L2 TLB MPKI falls monotonically with page size (every Table 2
+        # row has this shape).
+        assert (
+            result.row(workload, "4KB").value
+            >= result.row(workload, "64KB").value
+            >= result.row(workload, "2MB").value
+        ), workload
+    # Locality-sensitive workloads show L2$ MPKI inflation at 2MB
+    # (misplacement concentrates four chiplets' data in one home L2).
+    for workload in ("STE", "3DC", "LPS"):
+        small = result.row(workload, "64KB").extra["l2_mpki"]
+        large = result.row(workload, "2MB").extra["l2_mpki"]
+        assert large > small * 1.2, workload
+    # Large-page-friendly workloads keep L2$ MPKI roughly flat.
+    for workload in ("BLK", "LUD"):
+        small = result.row(workload, "64KB").extra["l2_mpki"]
+        large = result.row(workload, "2MB").extra["l2_mpki"]
+        assert abs(large - small) / max(small, 1e-9) < 0.25, workload

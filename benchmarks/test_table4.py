@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Table 4 (CLAP-selected page sizes)."""
+
+from repro.experiments import table4_selected_sizes
+
+from .conftest import run_experiment
+
+
+def test_table4(benchmark):
+    result = run_experiment(benchmark, table4_selected_sizes)
+    # Every one of the paper's 38 (structure -> size, OLP flag) entries
+    # must be reproduced exactly.
+    assert result.summary["paper_entries"] == 38.0
+    assert result.summary["matching_entries"] == 38.0

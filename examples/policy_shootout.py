@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Policy shootout: the Figure 18 comparison on chosen workloads.
+
+Runs all nine Section 5 configurations (static paging, Ideal C-NUMA,
+GRIT, MGvm, Barre-Chord, CLAP, Ideal) on one or more workloads::
+
+    python examples/policy_shootout.py STE BLK SSSP
+"""
+
+import sys
+
+from repro import (
+    BarreChordPolicy,
+    ClapPolicy,
+    CNumaPolicy,
+    GritPolicy,
+    IdealPolicy,
+    MgvmPolicy,
+    StaticPaging,
+    PAGE_2M,
+    PAGE_64K,
+    run_workload,
+    workload_by_name,
+)
+
+CONFIGS = (
+    ("S-64KB", lambda: StaticPaging(PAGE_64K)),
+    ("S-2MB", lambda: StaticPaging(PAGE_2M)),
+    ("Ideal_C-NUMA", lambda: CNumaPolicy(intermediate=False)),
+    ("C-NUMA+inter", lambda: CNumaPolicy(intermediate=True)),
+    ("GRIT", GritPolicy),
+    ("MGvm", MgvmPolicy),
+    ("F-Barre", BarreChordPolicy),
+    ("CLAP", ClapPolicy),
+    ("Ideal", IdealPolicy),
+)
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["STE", "BLK", "GPT3"]
+    for abbr in names:
+        spec = workload_by_name(abbr)
+        print(f"== {spec.abbr} — {spec.title}")
+        print(f"{'config':14s} {'perf/S-64KB':>11s} {'remote':>7s} "
+              f"{'migrations':>10s}")
+        baseline = None
+        for name, make in CONFIGS:
+            result = run_workload(spec, make())
+            if baseline is None:
+                baseline = result
+            print(
+                f"{name:14s} {result.speedup_over(baseline):11.3f} "
+                f"{result.remote_ratio:7.3f} {result.migrations:10d}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Quickstart: run CLAP against static paging on one workload.
+
+Usage::
+
+    python examples/quickstart.py [WORKLOAD]
+
+where WORKLOAD is a Table 2 abbreviation (default: STE).  Prints the
+performance of S-64KB, S-2MB and CLAP, the remote-access ratios, and the
+page sizes CLAP selected per data structure.
+"""
+
+import sys
+
+from repro import (
+    ClapPolicy,
+    StaticPaging,
+    PAGE_2M,
+    PAGE_64K,
+    run_workload,
+    workload_by_name,
+)
+
+
+def main() -> None:
+    abbr = sys.argv[1] if len(sys.argv) > 1 else "STE"
+    spec = workload_by_name(abbr)
+    print(f"workload: {spec.abbr} — {spec.title}")
+    print(f"structures: "
+          + ", ".join(f"{s.name} ({s.sim_size >> 20}MB)" for s in spec.structures))
+    print()
+
+    base = run_workload(spec, StaticPaging(PAGE_64K))
+    large = run_workload(spec, StaticPaging(PAGE_2M))
+    clap = run_workload(spec, ClapPolicy())
+
+    print(f"{'config':8s} {'perf':>8s} {'vs 64KB':>8s} {'remote':>7s} "
+          f"{'TLB MPKI':>9s}")
+    for result in (base, large, clap):
+        print(
+            f"{result.policy:8s} {result.performance:8.4f} "
+            f"{result.speedup_over(base):8.3f} {result.remote_ratio:7.3f} "
+            f"{result.l2_tlb_mpki:9.2f}"
+        )
+    print()
+    print("CLAP-selected page sizes (the suitable contiguity per structure;")
+    print("'*' marks structures resolved through opportunistic large paging):")
+    for name, selection in clap.selections.items():
+        print(f"  {name:12s} -> {selection.label}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Run every experiment and dump the measured numbers for EXPERIMENTS.md."""
+
+import json
+import time
+
+from repro.experiments import (
+    fig01_page_size_intro,
+    fig02_remote_caching,
+    fig06_page_size_sweep,
+    fig08_structure_sensitivity,
+    fig10_chiplet_locality,
+    fig18_main,
+    fig19_static_analysis,
+    fig20_migration,
+    fig21_caching_synergy,
+    fig22_eight_chiplets,
+    sec26_interleaving,
+    table2_workloads,
+    table4_selected_sizes,
+)
+
+MODULES = [
+    fig01_page_size_intro,
+    fig02_remote_caching,
+    sec26_interleaving,
+    fig06_page_size_sweep,
+    fig08_structure_sensitivity,
+    fig10_chiplet_locality,
+    table2_workloads,
+    fig18_main,
+    table4_selected_sizes,
+    fig19_static_analysis,
+    fig20_migration,
+    fig21_caching_synergy,
+    fig22_eight_chiplets,
+]
+
+
+def main() -> None:
+    report = {}
+    for module in MODULES:
+        start = time.time()
+        result = module.run()
+        elapsed = time.time() - start
+        report[result.experiment] = {
+            "summary": result.summary,
+            "seconds": round(elapsed, 1),
+        }
+        print(f"=== {result.experiment} ({elapsed:.1f}s)")
+        print(result.format())
+        print()
+    with open("experiment_report.json", "w") as fh:
+        json.dump(report, fh, indent=2)
+
+
+if __name__ == "__main__":
+    main()

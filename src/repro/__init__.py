@@ -1,0 +1,75 @@
+"""CLAP reproduction: chiplet-locality-aware page placement for MCM GPUs.
+
+Public API quick tour::
+
+    from repro import run_workload, ClapPolicy, StaticPaging
+
+    result = run_workload("STE", ClapPolicy())
+    base = run_workload("STE", StaticPaging(64 * 1024))
+    print(result.speedup_over(base), result.remote_ratio)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced table and figure.
+"""
+
+from .config import GPUConfig, baseline_config, eight_chiplet_config
+from .core.clap import AllocationPhase, ClapPolicy
+from .core.clap_sa import ClapSaPlusPolicy, ClapSaPolicy
+from .core.migration import ClapMigrationPolicy
+from .policies import (
+    BarreChordPolicy,
+    CNumaPolicy,
+    GritPolicy,
+    IdealPolicy,
+    MgvmPolicy,
+    PlacementPolicy,
+    SaStaticPolicy,
+    StaticPaging,
+)
+from .sim.energy import EnergyBreakdown, EnergyParams, energy_report
+from .sim.engine import run_simulation
+from .sim.results import SimResult
+from .sim.runner import run_workload
+from .sim.validation import validate_machine
+from .trace.suite import SUITE, gemm_reuse_scenario, workload_by_name
+from .trace.workload import Workload, WorkloadSpec
+from .units import GB, KB, MB, PAGE_2M, PAGE_4K, PAGE_64K
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPUConfig",
+    "baseline_config",
+    "eight_chiplet_config",
+    "ClapPolicy",
+    "ClapSaPolicy",
+    "ClapSaPlusPolicy",
+    "ClapMigrationPolicy",
+    "AllocationPhase",
+    "PlacementPolicy",
+    "StaticPaging",
+    "IdealPolicy",
+    "MgvmPolicy",
+    "BarreChordPolicy",
+    "GritPolicy",
+    "CNumaPolicy",
+    "SaStaticPolicy",
+    "run_simulation",
+    "run_workload",
+    "SimResult",
+    "EnergyBreakdown",
+    "EnergyParams",
+    "energy_report",
+    "validate_machine",
+    "SUITE",
+    "workload_by_name",
+    "gemm_reuse_scenario",
+    "Workload",
+    "WorkloadSpec",
+    "KB",
+    "MB",
+    "GB",
+    "PAGE_4K",
+    "PAGE_64K",
+    "PAGE_2M",
+]

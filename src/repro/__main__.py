@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro``.
+
+Sub-commands::
+
+    python -m repro run STE --policy CLAP --policy S-64KB
+    python -m repro sweep LPS
+    python -m repro experiment fig18 --quick
+    python -m repro list
+
+``run`` simulates one workload under one or more policies; ``sweep``
+reproduces its Figure 6 column; ``experiment`` regenerates a paper
+figure/table (optionally on the quick workload subset); ``list`` shows
+the available workloads, policies and experiments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import experiments
+from .render import render_bars
+from .sim.runner import resolve_policy, run_workload
+from .trace.suite import SUITE, workload_by_name
+from .units import SWEEP_PAGE_SIZES, size_label
+
+_EXPERIMENTS = {
+    "fig1": "fig01_page_size_intro",
+    "fig2": "fig02_remote_caching",
+    "sec26": "sec26_interleaving",
+    "fig6": "fig06_page_size_sweep",
+    "fig8": "fig08_structure_sensitivity",
+    "fig10": "fig10_chiplet_locality",
+    "table2": "table2_workloads",
+    "fig18": "fig18_main",
+    "table4": "table4_selected_sizes",
+    "fig19": "fig19_static_analysis",
+    "fig20": "fig20_migration",
+    "fig21": "fig21_caching_synergy",
+    "fig22": "fig22_eight_chiplets",
+}
+
+_POLICY_NAMES = (
+    "S-4KB", "S-64KB", "S-2MB", "CLAP", "Ideal", "MGvm", "F-Barre",
+    "GRIT", "Ideal_C-NUMA", "Ideal_C-NUMA+inter",
+)
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("workloads (Table 2):")
+    for spec in SUITE:
+        print(f"  {spec.abbr:6s} {spec.title}")
+    print("\npolicies:")
+    for name in _POLICY_NAMES:
+        print(f"  {name}")
+    print("\nexperiments:")
+    for key in _EXPERIMENTS:
+        print(f"  {key}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = workload_by_name(args.workload)
+    policies = args.policy or ["S-64KB", "S-2MB", "CLAP"]
+    baseline = None
+    print(f"{'policy':20s} {'perf':>8s} {'speedup':>8s} {'remote':>7s} "
+          f"{'TLB MPKI':>9s}")
+    for name in policies:
+        result = run_workload(spec, resolve_policy(name), seed=args.seed)
+        if baseline is None:
+            baseline = result
+        print(
+            f"{result.policy:20s} {result.performance:8.4f} "
+            f"{result.speedup_over(baseline):8.3f} "
+            f"{result.remote_ratio:7.3f} {result.l2_tlb_mpki:9.2f}"
+        )
+        if result.selections:
+            chosen = ", ".join(
+                f"{k}={v.label}" for k, v in result.selections.items()
+            )
+            print(f"{'':20s} selections: {chosen}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .policies import StaticPaging
+
+    spec = workload_by_name(args.workload)
+    results = {
+        size: run_workload(spec, StaticPaging(size), seed=args.seed)
+        for size in SWEEP_PAGE_SIZES
+    }
+    baseline = results[65536]
+    print(f"{'size':>8s} {'perf/64KB':>10s} {'remote':>7s}")
+    for size, result in results.items():
+        print(
+            f"{size_label(size):>8s} "
+            f"{result.performance / baseline.performance:10.3f} "
+            f"{result.remote_ratio:7.3f}"
+        )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    module_name = _EXPERIMENTS.get(args.name)
+    if module_name is None:
+        print(f"unknown experiment {args.name!r}; "
+              f"available: {', '.join(_EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    module = getattr(
+        __import__(f"repro.experiments.{module_name}").experiments,
+        module_name,
+    )
+    result = module.run(quick=args.quick)
+    if args.bars:
+        print(render_bars(result))
+    else:
+        print(result.format())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CLAP reproduction: simulate MCM GPU page placement",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads, policies, experiments")
+
+    run_parser = sub.add_parser("run", help="run one workload")
+    run_parser.add_argument("workload")
+    run_parser.add_argument(
+        "--policy", action="append",
+        help="policy name (repeatable); default: S-64KB, S-2MB, CLAP",
+    )
+    run_parser.add_argument("--seed", type=int, default=7)
+
+    sweep_parser = sub.add_parser("sweep", help="Figure 6 page-size sweep")
+    sweep_parser.add_argument("workload")
+    sweep_parser.add_argument("--seed", type=int, default=7)
+
+    exp_parser = sub.add_parser(
+        "experiment", help="regenerate a paper figure/table"
+    )
+    exp_parser.add_argument("name", help=", ".join(_EXPERIMENTS))
+    exp_parser.add_argument("--quick", action="store_true")
+    exp_parser.add_argument(
+        "--bars", action="store_true", help="render ASCII bars"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "sweep": _cmd_sweep,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Architectural building blocks: physical address layout and interconnect."""
+
+from .address import AddressLayout, InterleavePolicy
+from .topology import RingTopology
+
+__all__ = ["AddressLayout", "InterleavePolicy", "RingTopology"]

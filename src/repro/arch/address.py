@@ -1,0 +1,110 @@
+"""Physical address layout and memory interleaving (Section 2.6, Figure 4).
+
+Conventional GPUs interleave data across memory channels at sub-page
+granularity (256B), which prevents the driver from steering whole pages to
+chiplets.  The paper's NUMA-aware policy pulls the two most significant
+channel bits *above* the 2MB block offset so that they act as a chiplet
+identifier: every physical 2MB block then belongs entirely to one chiplet,
+while channel-level parallelism is preserved inside the chiplet by the
+remaining channel bits below.
+
+We model two policies:
+
+* :attr:`InterleavePolicy.NUMA_AWARE` — chiplet-ID bits above the 2MB
+  offset (the paper's baseline; enables page placement).
+* :attr:`InterleavePolicy.NAIVE` — chiplet bits inside the 256B-interleave
+  field, as in a monolithic GPU (placement-blind; used for the Section 2.6
+  ablation).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..units import BLOCK_SIZE, is_pow2
+
+
+class InterleavePolicy(enum.Enum):
+    """How chiplet-identifying bits are positioned in the physical address."""
+
+    NUMA_AWARE = "numa_aware"
+    NAIVE = "naive"
+
+
+#: Sub-page channel interleaving granularity of conventional GPUs.
+FINE_INTERLEAVE = 256
+
+
+@dataclass(frozen=True)
+class AddressLayout:
+    """Maps physical frame numbers to chiplets and channels.
+
+    The simulator tracks physical memory at 2MB PF-block granularity; a
+    physical address is ``block_index * BLOCK_SIZE + offset``.  Under the
+    NUMA-aware policy the chiplet ID is encoded in the low bits of the
+    block index (the bits directly above the 2MB page offset in Figure 4),
+    so allocating block indices congruent to ``c`` modulo ``num_chiplets``
+    places memory on chiplet ``c``.
+    """
+
+    num_chiplets: int
+    channels_per_chiplet: int = 16
+    policy: InterleavePolicy = InterleavePolicy.NUMA_AWARE
+
+    def __post_init__(self) -> None:
+        if not is_pow2(self.num_chiplets):
+            raise ValueError("num_chiplets must be a power of two")
+        if not is_pow2(self.channels_per_chiplet):
+            raise ValueError("channels_per_chiplet must be a power of two")
+
+    # --- chiplet mapping ---
+
+    def chiplet_of_block(self, block_index: int) -> int:
+        """Chiplet owning physical 2MB block ``block_index``."""
+        if block_index < 0:
+            raise ValueError("block_index must be non-negative")
+        return block_index % self.num_chiplets
+
+    def chiplet_of_paddr(self, paddr: int) -> int:
+        """Chiplet owning physical address ``paddr``.
+
+        Under :attr:`InterleavePolicy.NAIVE` the chiplet is derived from
+        the 256B-interleave field, so consecutive 256B chunks round-robin
+        across chiplets and pages cannot be steered.
+        """
+        if paddr < 0:
+            raise ValueError("paddr must be non-negative")
+        if self.policy is InterleavePolicy.NUMA_AWARE:
+            return self.chiplet_of_block(paddr // BLOCK_SIZE)
+        return (paddr // FINE_INTERLEAVE) % self.num_chiplets
+
+    def block_for_chiplet(self, chiplet: int, sequence: int) -> int:
+        """The ``sequence``-th physical block index owned by ``chiplet``."""
+        self._check_chiplet(chiplet)
+        if sequence < 0:
+            raise ValueError("sequence must be non-negative")
+        return sequence * self.num_chiplets + chiplet
+
+    # --- channel mapping ---
+
+    def channel_of_paddr(self, paddr: int) -> int:
+        """Global channel index serving ``paddr``.
+
+        Inside a chiplet, 256B chunks interleave across that chiplet's
+        channels regardless of policy; channel-level parallelism is never
+        sacrificed (Figure 4).
+        """
+        chiplet = self.chiplet_of_paddr(paddr)
+        local = (paddr // FINE_INTERLEAVE) % self.channels_per_chiplet
+        return chiplet * self.channels_per_chiplet + local
+
+    @property
+    def total_channels(self) -> int:
+        return self.num_chiplets * self.channels_per_chiplet
+
+    def _check_chiplet(self, chiplet: int) -> None:
+        if not 0 <= chiplet < self.num_chiplets:
+            raise ValueError(
+                f"chiplet {chiplet} out of range [0, {self.num_chiplets})"
+            )

@@ -1,0 +1,117 @@
+"""On-package interconnect model: a ring of chiplets (Table 1).
+
+The paper's baseline uses a ring topology with 768 GB/s aggregate GPU
+bandwidth and 32 ns per-hop latency.  We model:
+
+* hop count between chiplets (shortest direction around the ring),
+* latency in core cycles for a one-way traversal,
+* a bandwidth accounting/queuing term: as the offered inter-chip traffic
+  approaches the link capacity, an M/D/1-style queuing delay is added so
+  that remote-heavy configurations pay more than the raw hop latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class RingTopology:
+    """Ring interconnect between ``num_chiplets`` chiplets.
+
+    Parameters
+    ----------
+    num_chiplets:
+        Chiplet count; ring positions are chiplet IDs in order.
+    hop_cycles:
+        One-hop latency in core cycles (32 ns at 1132 MHz = ~36 cycles).
+    bandwidth_gbps:
+        Aggregate inter-chip bandwidth for the whole package.
+    clock_mhz:
+        Core clock, used to convert bytes/s into bytes/cycle.
+    """
+
+    num_chiplets: int
+    hop_cycles: int = 36
+    bandwidth_gbps: float = 768.0
+    clock_mhz: int = 1132
+
+    #: bytes moved per (src, dst) pair, for accounting and queuing.
+    traffic_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    total_bytes: int = 0
+    #: hop-weighted byte count (a 2-hop transfer occupies two links);
+    #: the energy model charges per link traversal.
+    hop_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_chiplets < 1:
+            raise ValueError("num_chiplets must be >= 1")
+        if self.hop_cycles < 0:
+            raise ValueError("hop_cycles must be non-negative")
+
+    def hops(self, src: int, dst: int) -> int:
+        """Shortest hop count between ``src`` and ``dst`` on the ring."""
+        self._check(src)
+        self._check(dst)
+        clockwise = (dst - src) % self.num_chiplets
+        return min(clockwise, self.num_chiplets - clockwise)
+
+    def latency(self, src: int, dst: int) -> int:
+        """One-way latency in cycles; zero for local traffic."""
+        return self.hops(src, dst) * self.hop_cycles
+
+    def record_transfer(self, src: int, dst: int, nbytes: int) -> None:
+        """Account ``nbytes`` moving from ``src`` to ``dst``."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if src == dst or nbytes == 0:
+            return
+        key = (src, dst)
+        self.traffic_bytes[key] = self.traffic_bytes.get(key, 0) + nbytes
+        self.total_bytes += nbytes
+        self.hop_bytes += self.hops(src, dst) * nbytes
+
+    @property
+    def mean_distance(self) -> float:
+        """Average shortest-path hop count between distinct chiplets.
+
+        Grows with ring size; the timing model scales per-transfer
+        bandwidth occupancy by it, capturing why remote traffic hurts
+        more on larger MCM packages (Figure 22).
+        """
+        if self.num_chiplets == 1:
+            return 0.0
+        total = sum(self.hops(0, dst) for dst in range(1, self.num_chiplets))
+        return total / (self.num_chiplets - 1)
+
+    @property
+    def bytes_per_cycle(self) -> float:
+        """Aggregate link capacity expressed in bytes per core cycle."""
+        return self.bandwidth_gbps * 1e9 / (self.clock_mhz * 1e6)
+
+    def queuing_delay(self, utilisation: float) -> float:
+        """Extra cycles per remote transfer at a given link utilisation.
+
+        M/D/1 waiting time: ``rho / (2 * (1 - rho))`` service times; the
+        service time of one 128B transfer at full bandwidth is
+        ``128 / bytes_per_cycle`` cycles.  Utilisation is clamped below
+        0.95 to keep the model finite under oversubscription.
+        """
+        if utilisation < 0:
+            raise ValueError("utilisation must be non-negative")
+        rho = min(utilisation, 0.95)
+        service = 128.0 / self.bytes_per_cycle
+        return rho / (2.0 * (1.0 - rho)) * service
+
+    def reset_traffic(self) -> None:
+        """Clear accumulated traffic accounting."""
+        self.traffic_bytes.clear()
+        self.total_bytes = 0
+        self.hop_bytes = 0
+
+    def _check(self, chiplet: int) -> None:
+        if not 0 <= chiplet < self.num_chiplets:
+            raise ValueError(
+                f"chiplet {chiplet} out of range [0, {self.num_chiplets})"
+            )

@@ -1,0 +1,12 @@
+"""Cache hierarchy: L1/L2 data caches and remote-caching schemes."""
+
+from .cache import SetAssociativeCache
+from .remote_cache import NubaCache, RemoteCachingScheme, SacCache, make_remote_cache
+
+__all__ = [
+    "SetAssociativeCache",
+    "RemoteCachingScheme",
+    "NubaCache",
+    "SacCache",
+    "make_remote_cache",
+]

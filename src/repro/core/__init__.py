@@ -1,0 +1,27 @@
+"""CLAP: Chiplet-Locality Aware Page Placement (the paper's contribution).
+
+* :mod:`repro.core.mma` — the tree-based chiplet-locality analysis
+  (Section 4.4, Equations 1-4);
+* :mod:`repro.core.clap` — the full policy: partial memory mapping with
+  opportunistic large paging, Remote-Tracker-refined page-size selection,
+  and reservation-based application of the selected size;
+* :mod:`repro.core.clap_sa` — CLAP-SA / CLAP-SA++ (static-analysis
+  profiling, Section 5.2);
+* :mod:`repro.core.migration` — the CLAP+migration extension (Figure 20).
+"""
+
+from .mma import level_scores, locality_level, select_page_size
+from .clap import AllocationPhase, ClapPolicy
+from .clap_sa import ClapSaPolicy, ClapSaPlusPolicy
+from .migration import ClapMigrationPolicy
+
+__all__ = [
+    "level_scores",
+    "locality_level",
+    "select_page_size",
+    "AllocationPhase",
+    "ClapPolicy",
+    "ClapSaPolicy",
+    "ClapSaPlusPolicy",
+    "ClapMigrationPolicy",
+]

@@ -1,0 +1,128 @@
+"""Memory Mapping Analysis: the tree-based chiplet-locality algorithm.
+
+Section 4.4, Figure 15.  For every fully mapped 2MB VA block, a binary
+tree is built over its 64KB leaves.  Each leaf carries the chiplet its
+page is mapped to; each internal node at level ``l`` (covering ``2**l``
+leaves) gets a locality score
+
+    score(l) = max(C_1 … C_n) / #leaf_nodes(l)            (Eq. 1)
+
+where ``C_i`` counts descendant leaves mapped to chiplet ``i``.  The
+per-level average ``score_avg(l)`` is the fraction of 64KB pages that a
+``2**l``-leaf page size would place on their preferred chiplet.  MMA
+selects the largest level satisfying
+
+    score_avg(l) >= thres - (ratio_rt + ratio_target) / k   (Eqs. 2-4)
+
+with ``thres = 1`` by default: remote-heavy structures (high RT-measured
+``ratio_rt``) relax the bar, because their remote accesses are inherent
+and larger pages at least buy translation reach.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence
+
+from ..units import PAGE_64K, is_pow2
+
+#: Default analysis threshold (Section 4.4): every leaf under the chosen
+#: level must map to its node's chiplet.
+DEFAULT_THRESHOLD = 1.0
+#: Scaling parameter k of Eq. 3.
+DEFAULT_K = 1.0
+#: CLAP's target residual remote ratio of Eq. 3.
+DEFAULT_RATIO_TARGET = 0.0
+
+#: Guard against floating-point equality at the threshold boundary.
+_EPSILON = 1e-9
+
+
+def level_scores(
+    owners: Sequence[int], num_chiplets: Optional[int] = None
+) -> List[float]:
+    """Per-level average locality scores for one VA block.
+
+    ``owners[i]`` is the chiplet that leaf (64KB page) ``i`` is mapped
+    to.  Returns ``score_avg`` for levels ``0..log2(len(owners))``;
+    level 0 (single leaves) scores 1.0 by definition.
+    """
+    count = len(owners)
+    if count == 0:
+        raise ValueError("owners must be non-empty")
+    if not is_pow2(count):
+        raise ValueError(f"leaf count must be a power of two, got {count}")
+    if num_chiplets is not None:
+        bad = [o for o in owners if not 0 <= o < num_chiplets]
+        if bad:
+            raise ValueError(f"owner ids out of range: {bad[:4]}")
+    scores = [1.0]
+    group = 2
+    while group <= count:
+        node_scores = []
+        for start in range(0, count, group):
+            tally = Counter(owners[start:start + group])
+            node_scores.append(max(tally.values()) / group)
+        scores.append(sum(node_scores) / len(node_scores))
+        group *= 2
+    return scores
+
+
+def locality_level(
+    owners: Sequence[int],
+    effective_threshold: float,
+    num_chiplets: Optional[int] = None,
+) -> int:
+    """The largest tree level whose average score clears the threshold.
+
+    Level 0 (64KB) always qualifies: a single page is trivially local to
+    its own chiplet.
+    """
+    scores = level_scores(owners, num_chiplets)
+    best = 0
+    for level, score in enumerate(scores):
+        if score >= effective_threshold - _EPSILON:
+            best = level
+    return best
+
+
+def effective_threshold(
+    ratio_rt: float,
+    thres: float = DEFAULT_THRESHOLD,
+    k: float = DEFAULT_K,
+    ratio_target: float = DEFAULT_RATIO_TARGET,
+) -> float:
+    """Right-hand side of Eq. 4 (clamped to [0, thres])."""
+    if not 0.0 <= ratio_rt <= 1.0:
+        raise ValueError("ratio_rt must be in [0, 1]")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    value = thres - (ratio_rt + ratio_target) / k
+    return min(max(value, 0.0), thres)
+
+
+def select_page_size(
+    blocks: Sequence[Sequence[int]],
+    ratio_rt: float = 0.0,
+    *,
+    thres: float = DEFAULT_THRESHOLD,
+    k: float = DEFAULT_K,
+    ratio_target: float = DEFAULT_RATIO_TARGET,
+    base_page: int = PAGE_64K,
+    num_chiplets: Optional[int] = None,
+) -> int:
+    """MMA's page-size decision for one data structure.
+
+    ``blocks`` holds the leaf-owner lists of every fully mapped VA block;
+    the structure's chiplet-locality degree is the *most dominant* degree
+    across blocks (Section 4.4), and the selected page size is
+    ``base_page * 2**degree``.
+    """
+    if not blocks:
+        raise ValueError("select_page_size requires at least one full block")
+    bar = effective_threshold(ratio_rt, thres, k, ratio_target)
+    degrees = [locality_level(block, bar, num_chiplets) for block in blocks]
+    tally = Counter(degrees)
+    # Most common degree; ties break toward the smaller (safer) size.
+    dominant = max(tally.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+    return base_page << dominant

@@ -1,0 +1,82 @@
+"""Figure 18: the main result — CLAP against eight alternatives.
+
+All fifteen workloads under the nine Section 5 configurations,
+performance normalised to S-64KB plus the remote access ratio.  The
+summary reports the paper's headline comparisons (geometric means):
+
+* CLAP vs S-64KB (+17.5% in the paper) and vs S-2MB (+19.2%),
+* CLAP vs Ideal C-NUMA (+11.9%) and the +inter variant (+8.5%),
+* CLAP vs GRIT (+17.1%), MGvm (+24.8%), F-Barre (+13.8%),
+* the gap Ideal keeps over CLAP (5.78% in the paper).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..core.clap import ClapPolicy
+from ..policies import (
+    BarreChordPolicy,
+    CNumaPolicy,
+    GritPolicy,
+    IdealPolicy,
+    MgvmPolicy,
+    StaticPaging,
+)
+from ..sim.runner import run_workload
+from ..units import PAGE_2M, PAGE_64K
+from .common import ExperimentResult, Row, gmean, pick_workloads
+
+#: The nine evaluated configurations, in the paper's order.
+CONFIGS: Tuple[Tuple[str, Callable], ...] = (
+    ("S-64KB", lambda: StaticPaging(PAGE_64K)),
+    ("S-2MB", lambda: StaticPaging(PAGE_2M)),
+    ("Ideal_C-NUMA", lambda: CNumaPolicy(intermediate=False)),
+    ("Ideal_C-NUMA+inter", lambda: CNumaPolicy(intermediate=True)),
+    ("GRIT", GritPolicy),
+    ("MGvm", MgvmPolicy),
+    ("F-Barre", BarreChordPolicy),
+    ("CLAP", ClapPolicy),
+    ("Ideal", IdealPolicy),
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    rows = []
+    normalized: Dict[str, List[float]] = {name: [] for name, _ in CONFIGS}
+    for spec in pick_workloads(quick):
+        baseline = None
+        for name, make in CONFIGS:
+            result = run_workload(spec, make())
+            if baseline is None:
+                baseline = result
+            value = result.performance / baseline.performance
+            normalized[name].append(value)
+            rows.append(
+                Row(
+                    workload=spec.abbr,
+                    config=name,
+                    value=value,
+                    remote_ratio=result.remote_ratio,
+                )
+            )
+    means = {name: gmean(values) for name, values in normalized.items()}
+    clap = means["CLAP"]
+    summary = {f"gmean_{name}": value for name, value in means.items()}
+    for other in (
+        "S-64KB",
+        "S-2MB",
+        "Ideal_C-NUMA",
+        "Ideal_C-NUMA+inter",
+        "GRIT",
+        "MGvm",
+        "F-Barre",
+    ):
+        summary[f"clap_over_{other}"] = clap / means[other]
+    summary["ideal_over_clap"] = means["Ideal"] / clap
+    return ExperimentResult(
+        experiment="Figure 18",
+        description="main comparison, performance norm. to S-64KB",
+        rows=rows,
+        summary=summary,
+    )

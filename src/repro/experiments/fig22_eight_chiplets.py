@@ -1,0 +1,59 @@
+"""Figure 22: scaling to an 8-chiplet MCM GPU.
+
+The suite minus 3DC and SC (too few threadblocks to fill eight chiplets,
+per the paper) under S-64KB, S-2MB and CLAP on the 8-chiplet
+configuration.  Paper numbers: CLAP +13.3% over S-64KB and +21.5% over
+S-2MB — and the key scaling claim that CLAP's margin over indiscriminate
+2MB paging *widens* relative to the 4-chiplet system.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+from ..config import eight_chiplet_config
+from ..core.clap import ClapPolicy
+from ..policies import StaticPaging
+from ..sim.runner import run_workload
+from ..trace.suite import LOW_PARALLELISM, SUITE
+from ..units import PAGE_2M, PAGE_64K
+from .common import ExperimentResult, Row, gmean, pick_workloads
+
+CONFIGS: Tuple[Tuple[str, Callable], ...] = (
+    ("S-64KB", lambda: StaticPaging(PAGE_64K)),
+    ("S-2MB", lambda: StaticPaging(PAGE_2M)),
+    ("CLAP", ClapPolicy),
+)
+
+
+def run(quick: bool = False) -> ExperimentResult:
+    config = eight_chiplet_config()
+    names = [w.abbr for w in SUITE if w.abbr not in LOW_PARALLELISM]
+    rows = []
+    normalized: Dict[str, List[float]] = {name: [] for name, _ in CONFIGS}
+    for spec in pick_workloads(quick, names):
+        baseline = None
+        for name, make in CONFIGS:
+            result = run_workload(spec, make(), config)
+            if baseline is None:
+                baseline = result
+            value = result.performance / baseline.performance
+            normalized[name].append(value)
+            rows.append(
+                Row(
+                    workload=spec.abbr,
+                    config=name,
+                    value=value,
+                    remote_ratio=result.remote_ratio,
+                )
+            )
+    means = {name: gmean(values) for name, values in normalized.items()}
+    return ExperimentResult(
+        experiment="Figure 22",
+        description="8-chiplet MCM GPU (norm. to S-64KB)",
+        rows=rows,
+        summary={
+            "gmean_CLAP_over_S-64KB": means["CLAP"],
+            "gmean_CLAP_over_S-2MB": means["CLAP"] / means["S-2MB"],
+        },
+    )

@@ -1,0 +1,13 @@
+"""GMMU: page walkers, walk cache, fault buffer, and the Remote Tracker."""
+
+from .walker import PageWalker, PtePlacement
+from .remote_tracker import RemoteTracker, RTEntry
+from .fault_buffer import FaultBuffer
+
+__all__ = [
+    "PageWalker",
+    "PtePlacement",
+    "RemoteTracker",
+    "RTEntry",
+    "FaultBuffer",
+]

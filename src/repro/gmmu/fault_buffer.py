@@ -1,0 +1,40 @@
+"""GMMU fault buffer (Section 2.5).
+
+When a page walk fails (the page is not resident), the fault is logged in
+the GMMU's fault buffer and forwarded to the host GPU driver, which
+resolves it by mapping the page and updating the page table.  The trace
+engine drives this loop synchronously; the buffer exists to account fault
+counts and to model the (bounded) batching the hardware performs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class FaultBuffer:
+    """Bounded log of outstanding page faults on one chiplet."""
+
+    capacity: int = 256
+    _pending: List[Tuple[int, int]] = field(default_factory=list)
+    faults_logged: int = 0
+    stalls: int = 0
+
+    def log(self, vaddr: int, requester: int) -> bool:
+        """Record a fault; returns False (a stall) when the buffer is full."""
+        if len(self._pending) >= self.capacity:
+            self.stalls += 1
+            return False
+        self._pending.append((vaddr, requester))
+        self.faults_logged += 1
+        return True
+
+    def drain(self) -> List[Tuple[int, int]]:
+        """Hand all pending faults to the driver and empty the buffer."""
+        pending, self._pending = self._pending, []
+        return pending
+
+    def __len__(self) -> int:
+        return len(self._pending)

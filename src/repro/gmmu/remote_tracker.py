@@ -1,0 +1,106 @@
+"""The Remote Tracker (RT), Section 4.3.
+
+A small hardware table embedded in each chiplet's GMMU.  On every
+completed page walk, the walker extracts the allocation ID from the leaf
+PTE's reserved bits, classifies the access as local or remote by comparing
+the PTE's chiplet ID (encoded in the PFN under NUMA-aware interleaving)
+with the requesting chiplet, and updates the matching RT entry's counters.
+
+RT estimates the *remote-access ratio* of each data structure from page
+walks only — the paper reports a 95.3% similarity to the true ratio, and
+our tests verify the same property on synthetic streams.
+
+Capacity is 32 entries (baseline); when full, the entry with the smallest
+remote counter is evicted (least-recently-updated breaks ties), matching
+the paper's policy of tracking the structures with the highest remote
+intensity.  The per-entry state is an 8-bit allocation ID plus two 32-bit
+saturating counters (288 bytes per RT, ~0.0124 mm^2 at 28nm — quoted from
+the paper; area is not modelled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: 32-bit saturating counters (paper: two 32-bit counters per entry).
+_COUNTER_MAX = (1 << 32) - 1
+
+
+@dataclass
+class RTEntry:
+    """Counters for one allocation ID."""
+
+    alloc_id: int
+    accesses: int = 0
+    remotes: int = 0
+    last_update: int = 0
+
+    @property
+    def remote_ratio(self) -> float:
+        return self.remotes / self.accesses if self.accesses else 0.0
+
+
+class RemoteTracker:
+    """One chiplet's RT table."""
+
+    def __init__(self, capacity: int = 32) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._table: Dict[int, RTEntry] = {}
+        self._clock = 0
+        self.evictions = 0
+
+    def register(self, alloc_id: int) -> None:
+        """Insert an allocation ID (driver sends metadata at allocation).
+
+        A full table evicts the entry with the smallest remote counter;
+        its statistics are lost (treated as zero remote ratio unless the
+        optional driver logging is enabled — disabled in the baseline).
+        """
+        if alloc_id in self._table:
+            return
+        if len(self._table) >= self.capacity:
+            victim = min(
+                self._table.values(),
+                key=lambda e: (e.remotes, e.last_update),
+            )
+            del self._table[victim.alloc_id]
+            self.evictions += 1
+        self._table[alloc_id] = RTEntry(alloc_id, last_update=self._clock)
+
+    def update(self, alloc_id: int, is_remote: bool) -> None:
+        """Record one completed page walk for ``alloc_id``.
+
+        Unknown IDs are ignored (the entry was evicted, or the allocation
+        pre-dates RT registration); RT is best-effort by design.
+        """
+        self._clock += 1
+        entry = self._table.get(alloc_id)
+        if entry is None:
+            return
+        if entry.accesses < _COUNTER_MAX:
+            entry.accesses += 1
+        if is_remote and entry.remotes < _COUNTER_MAX:
+            entry.remotes += 1
+        entry.last_update = self._clock
+
+    def peek(self, alloc_id: int) -> Optional[RTEntry]:
+        return self._table.get(alloc_id)
+
+    def collect(self, alloc_id: int) -> Tuple[int, int]:
+        """Drain the counters for ``alloc_id`` (driver pulls stats at MMA).
+
+        Returns ``(accesses, remotes)`` and clears the entry, per the
+        paper: "each RT forwards the recorded statistics to the GPU driver
+        and clears the corresponding table entry".  Evicted/unknown IDs
+        report zeros.
+        """
+        entry = self._table.pop(alloc_id, None)
+        if entry is None:
+            return 0, 0
+        return entry.accesses, entry.remotes
+
+    def __len__(self) -> int:
+        return len(self._table)

@@ -1,0 +1,148 @@
+"""Hardware page-table walking with a walk cache (Table 1, Section 2.4).
+
+Each chiplet's GMMU owns multi-threaded page walkers and a page-walk
+cache.  A walk traverses the 4-level in-memory page table; at each level
+the entry may live in a PTE page on any chiplet, so individual steps can
+be local or remote (Section 2.4).  The baseline distributes PTE pages
+across chiplets as proposed by MGvm's predecessor work; the **MGvm**
+configuration makes every step local (optimised PTE placement).
+
+Cost model per level:
+
+* walk-cache hit: ``WALK_CACHE_HIT_CYCLES`` (the walker short-circuits);
+* walk-cache miss: one PTE-line fetch at L2-cache latency, plus two ring
+  traversals when the PTE page is remote.
+
+The leaf level is always fetched from memory — that fetch is the 128B
+line carrying sixteen PTEs which the TLB coalescing logic inspects
+(Section 4.6).  Completed walks update the chiplet's Remote Tracker.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config import GPUConfig
+from .remote_tracker import RemoteTracker
+
+#: Latency of a walk-cache hit (one SRAM lookup).
+WALK_CACHE_HIT_CYCLES = 2
+
+#: Virtual-address span covered by one entry at each upper level, for a
+#: 4KB-leaf radix table: L3 entries cover 2MB, L2 1GB, L1 512GB.
+_LEVEL_SPANS = (512 << 30, 1 << 30, 2 << 20)
+
+
+class PtePlacement(enum.Enum):
+    """Where PTE pages live relative to the walking chiplet."""
+
+    DISTRIBUTED = "distributed"  # baseline: hashed across chiplets
+    LOCAL = "local"              # MGvm: PTE placement fully optimised
+
+
+class _WalkCache:
+    """LRU cache of upper-level page-table entries."""
+
+    def __init__(self, entries: int) -> None:
+        self._entries = max(entries, 4)
+        self._cache: "OrderedDict[tuple, bool]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, key: tuple) -> bool:
+        if key in self._cache:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        if len(self._cache) >= self._entries:
+            self._cache.popitem(last=False)
+        self._cache[key] = True
+        return False
+
+
+@dataclass
+class WalkStats:
+    walks: int = 0
+    total_cycles: int = 0
+    remote_steps: int = 0
+    local_steps: int = 0
+
+    @property
+    def mean_cycles(self) -> float:
+        return self.total_cycles / self.walks if self.walks else 0.0
+
+
+class PageWalker:
+    """One chiplet's page-walk engine."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        chiplet: int,
+        remote_tracker: Optional[RemoteTracker] = None,
+        placement: PtePlacement = PtePlacement.DISTRIBUTED,
+        hop_cycles: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.chiplet = chiplet
+        self.remote_tracker = remote_tracker
+        self.placement = placement
+        self.hop_cycles = (
+            hop_cycles if hop_cycles is not None else config.hop_cycles
+        )
+        self.walk_cache = _WalkCache(config.walk_cache_entries)
+        self.stats = WalkStats()
+
+    def _step_chiplet(self, level: int, key: int) -> int:
+        """Chiplet holding the PTE page for ``key`` at ``level``."""
+        if self.placement is PtePlacement.LOCAL:
+            return self.chiplet
+        # Deterministic hash spreading PTE pages across chiplets.
+        return (key * 0x9E3779B1 + level) % self.config.num_chiplets
+
+    def _step_cost(self, level: int, key: int) -> int:
+        holder = self._step_chiplet(level, key)
+        cost = self.config.l2_latency
+        if holder != self.chiplet:
+            # Request + response traverse the ring.
+            distance = min(
+                (holder - self.chiplet) % self.config.num_chiplets,
+                (self.chiplet - holder) % self.config.num_chiplets,
+            )
+            cost += 2 * distance * self.hop_cycles
+            self.stats.remote_steps += 1
+        else:
+            self.stats.local_steps += 1
+        return cost
+
+    def walk(
+        self, vaddr: int, alloc_id: int, leaf_chiplet: int
+    ) -> int:
+        """Perform a 4-level walk for ``vaddr``; returns latency in cycles.
+
+        ``leaf_chiplet`` is the chiplet the translated page maps to; the
+        walk classifies the access as local/remote and updates the Remote
+        Tracker (RT lookup itself costs two pipelined cycles and is off
+        the critical path, so it adds no latency).
+        """
+        cycles = 0
+        # Upper levels (1..3) can hit the walk cache.
+        for level, span in enumerate(_LEVEL_SPANS, start=1):
+            key = (level, vaddr // span)
+            if self.walk_cache.access(key):
+                cycles += WALK_CACHE_HIT_CYCLES
+            else:
+                cycles += self._step_cost(level, vaddr // span)
+        # Leaf level: always fetch the PTE line from memory.
+        cycles += self._step_cost(4, vaddr // (2 << 20))
+        self.stats.walks += 1
+        self.stats.total_cycles += cycles
+        if self.remote_tracker is not None:
+            self.remote_tracker.update(
+                alloc_id, is_remote=leaf_chiplet != self.chiplet
+            )
+        return cycles

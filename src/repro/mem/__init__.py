@@ -1,0 +1,11 @@
+"""Physical memory substrate: PF-block frame allocation and DRAM timing."""
+
+from .frames import ChipletMemoryExhausted, Frame, FrameAllocator
+from .dram import DramChannelModel
+
+__all__ = [
+    "ChipletMemoryExhausted",
+    "Frame",
+    "FrameAllocator",
+    "DramChannelModel",
+]

@@ -1,0 +1,83 @@
+"""HBM2 DRAM channel timing model (Table 1).
+
+A deliberately light model: per channel, a one-entry open-row tracker.  A
+row hit costs ``tCL``; a row miss costs ``tRP + tRCD + tCL`` (precharge,
+activate, CAS).  Latencies are expressed in DRAM clocks and converted to
+core cycles.  Bandwidth pressure is handled separately by the interconnect
+and the timing model's queuing terms; this module provides the latency
+floor and per-channel access statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+#: Row size used for the open-row tracker (2KB rows, HBM2-typical).
+ROW_SIZE = 2048
+
+
+@dataclass
+class DramChannelModel:
+    """Open-row DRAM timing across ``num_channels`` channels.
+
+    Parameters mirror Table 1 (tRCD=14, tRP=14, tCL=14 in DRAM clocks at
+    877 MHz, converted to 1132 MHz core cycles).
+    """
+
+    num_channels: int
+    trcd: int = 14
+    trp: int = 14
+    tcl: int = 14
+    dram_clock_mhz: int = 877
+    core_clock_mhz: int = 1132
+
+    _open_row: Dict[int, int] = field(default_factory=dict)
+    accesses: int = 0
+    row_hits: int = 0
+    channel_accesses: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.num_channels < 1:
+            raise ValueError("num_channels must be >= 1")
+        if not self.channel_accesses:
+            self.channel_accesses = [0] * self.num_channels
+
+    def _to_core_cycles(self, dram_clocks: int) -> int:
+        return round(dram_clocks * self.core_clock_mhz / self.dram_clock_mhz)
+
+    @property
+    def row_hit_cycles(self) -> int:
+        """Core-cycle latency of a row-buffer hit."""
+        return self._to_core_cycles(self.tcl)
+
+    @property
+    def row_miss_cycles(self) -> int:
+        """Core-cycle latency of a row-buffer miss (PRE + ACT + CAS)."""
+        return self._to_core_cycles(self.trp + self.trcd + self.tcl)
+
+    def access(self, channel: int, paddr: int) -> int:
+        """Access ``paddr`` on ``channel``; returns latency in core cycles."""
+        if not 0 <= channel < self.num_channels:
+            raise ValueError(
+                f"channel {channel} out of range [0, {self.num_channels})"
+            )
+        row = paddr // ROW_SIZE
+        self.accesses += 1
+        self.channel_accesses[channel] += 1
+        if self._open_row.get(channel) == row:
+            self.row_hits += 1
+            return self.row_hit_cycles
+        self._open_row[channel] = row
+        return self.row_miss_cycles
+
+    @property
+    def row_hit_rate(self) -> float:
+        return self.row_hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.accesses = 0
+        self.row_hits = 0
+        self.channel_accesses = [0] * self.num_channels
+        self._open_row.clear()

@@ -1,0 +1,239 @@
+"""Block-based physical frame management (Section 4.1, Section 4.7).
+
+Physical memory is partitioned into 2MB **PF blocks**.  Each PF block
+belongs to exactly one chiplet (the NUMA-aware interleaving in Figure 4
+encodes the chiplet ID in the bits directly above the 2MB offset).  When a
+frame of a given size is needed on a chiplet, a free PF block of that
+chiplet is split into frames of exactly that size, and the frames are
+pushed onto the corresponding free list.  A PF block therefore never mixes
+frame sizes, which keeps frames 2MB-aligned-by-construction and bounds
+external fragmentation.
+
+Free lists are additionally keyed by a *pool* (Section 4.7): CLAP gives
+each data structure a dedicated pool so that a PF block is only ever used
+by one data structure and can be reclaimed wholesale on free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..arch.address import AddressLayout
+from ..units import BLOCK_SIZE, is_pow2, size_label
+
+#: Pool name used when a caller does not need per-allocation pooling.
+DEFAULT_POOL = "default"
+
+
+class ChipletMemoryExhausted(Exception):
+    """Raised when a chiplet has no free PF blocks left.
+
+    Policies catch this to fall back to a different chiplet (Section 4.7,
+    "Chiplet Memory Exhaustion").
+    """
+
+    def __init__(self, chiplet: int):
+        super().__init__(f"chiplet {chiplet} has no free PF blocks")
+        self.chiplet = chiplet
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A physically contiguous frame carved out of a PF block."""
+
+    paddr: int
+    size: int
+    chiplet: int
+
+    def __post_init__(self) -> None:
+        if self.paddr % self.size:
+            raise ValueError(
+                f"frame at {self.paddr:#x} is not {size_label(self.size)}-aligned"
+            )
+
+    @property
+    def block_index(self) -> int:
+        return self.paddr // BLOCK_SIZE
+
+    def subframe(self, offset: int, size: int) -> "Frame":
+        """A ``size``-byte frame at byte ``offset`` inside this frame."""
+        if offset % size:
+            raise ValueError("subframe offset must be size-aligned")
+        if offset + size > self.size:
+            raise ValueError("subframe exceeds parent frame")
+        return Frame(self.paddr + offset, size, self.chiplet)
+
+
+class FrameAllocator:
+    """Per-chiplet, per-size, per-pool physical frame allocator.
+
+    Parameters
+    ----------
+    layout:
+        The physical address layout; decides which block indices belong to
+        which chiplet.
+    capacity_blocks_per_chiplet:
+        Optional cap on PF blocks per chiplet.  ``None`` means unbounded
+        (the common case for trace-driven runs that never oversubscribe).
+    """
+
+    def __init__(
+        self,
+        layout: AddressLayout,
+        capacity_blocks_per_chiplet: Optional[int] = None,
+    ) -> None:
+        self._layout = layout
+        self._capacity = capacity_blocks_per_chiplet
+        #: next fresh block sequence number per chiplet
+        self._next_sequence: Dict[int, int] = {
+            c: 0 for c in range(layout.num_chiplets)
+        }
+        #: free lists: (chiplet, frame size, pool) -> frames (LIFO)
+        self._free: Dict[Tuple[int, int, str], List[Frame]] = {}
+        #: whole free PF blocks returned by reclaim, reusable by any pool
+        self._free_blocks: Dict[int, List[int]] = {
+            c: [] for c in range(layout.num_chiplets)
+        }
+        #: block index -> pool that split it (for reclaim + accounting)
+        self._block_pool: Dict[int, str] = {}
+        self._blocks_split = 0
+
+    @property
+    def num_chiplets(self) -> int:
+        return self._layout.num_chiplets
+
+    @property
+    def blocks_consumed(self) -> int:
+        """Total PF blocks ever split into frames (memory-usage metric)."""
+        return self._blocks_split
+
+    def blocks_in_use(self, chiplet: Optional[int] = None) -> int:
+        """PF blocks currently assigned to some pool (not reclaimed)."""
+        if chiplet is None:
+            return len(self._block_pool)
+        return sum(
+            1
+            for index in self._block_pool
+            if self._layout.chiplet_of_block(index) == chiplet
+        )
+
+    def free_capacity(self, chiplet: int) -> Optional[int]:
+        """Remaining PF blocks available on ``chiplet`` (None = unbounded)."""
+        if self._capacity is None:
+            return None
+        fresh = self._capacity - self._next_sequence[chiplet]
+        return fresh + len(self._free_blocks[chiplet])
+
+    # --- allocation ---
+
+    def allocate(
+        self, chiplet: int, size: int, pool: str = DEFAULT_POOL
+    ) -> Frame:
+        """Pop a free ``size``-byte frame on ``chiplet`` from ``pool``.
+
+        Splits a fresh PF block into frames of exactly ``size`` when the
+        pool's free list is empty.  Raises
+        :class:`ChipletMemoryExhausted` when the chiplet is out of blocks.
+        """
+        self._check_size(size)
+        key = (chiplet, size, pool)
+        free_list = self._free.get(key)
+        if not free_list:
+            self._split_block(chiplet, size, pool)
+            free_list = self._free[key]
+        return free_list.pop()
+
+    def free(self, frame: Frame, pool: str = DEFAULT_POOL) -> None:
+        """Return ``frame`` to its pool's free list."""
+        key = (frame.chiplet, frame.size, pool)
+        self._free.setdefault(key, []).append(frame)
+
+    def free_list_length(
+        self, chiplet: int, size: int, pool: str = DEFAULT_POOL
+    ) -> int:
+        return len(self._free.get((chiplet, size, pool), []))
+
+    def release_reservation(
+        self, frame: Frame, used: int, subframe_size: int, pool: str = DEFAULT_POOL
+    ) -> List[Frame]:
+        """Break a reserved frame back into sub-frames (OLP release, §4.2).
+
+        The first ``used`` sub-frames of size ``subframe_size`` stay
+        allocated (they already hold mapped pages); the remainder is pushed
+        back onto the pool's ``subframe_size`` free list for reuse.
+        Returns the sub-frames that were returned to the free list.
+        """
+        self._check_size(subframe_size)
+        if subframe_size > frame.size:
+            raise ValueError("subframe_size exceeds reserved frame size")
+        count = frame.size // subframe_size
+        if not 0 <= used <= count:
+            raise ValueError(f"used must be in [0, {count}], got {used}")
+        released = []
+        for i in range(used, count):
+            sub = frame.subframe(i * subframe_size, subframe_size)
+            self.free(sub, pool)
+            released.append(sub)
+        return released
+
+    def reclaim_pool(self, pool: str) -> int:
+        """Reclaim every PF block owned by ``pool`` (structure freed, §4.7).
+
+        Because a PF block is only ever split for a single pool, the whole
+        block can be returned for reuse by other pools without compaction.
+        Returns the number of blocks reclaimed.
+        """
+        reclaimed = 0
+        for index, owner in list(self._block_pool.items()):
+            if owner != pool:
+                continue
+            del self._block_pool[index]
+            chiplet = self._layout.chiplet_of_block(index)
+            self._free_blocks[chiplet].append(index)
+            reclaimed += 1
+        # Drop the pool's now-dangling frame free lists.
+        for key in [k for k in self._free if k[2] == pool]:
+            del self._free[key]
+        return reclaimed
+
+    # --- internals ---
+
+    def _split_block(self, chiplet: int, size: int, pool: str) -> None:
+        index = self._take_block(chiplet, pool)
+        base = index * BLOCK_SIZE
+        frames = [
+            Frame(base + offset, size, chiplet)
+            for offset in range(0, BLOCK_SIZE, size)
+        ]
+        # LIFO pop order should hand out ascending addresses first.
+        frames.reverse()
+        self._free.setdefault((chiplet, size, pool), []).extend(frames)
+
+    def _take_block(self, chiplet: int, pool: str) -> int:
+        if not 0 <= chiplet < self.num_chiplets:
+            raise ValueError(
+                f"chiplet {chiplet} out of range [0, {self.num_chiplets})"
+            )
+        recycled = self._free_blocks[chiplet]
+        if recycled:
+            index = recycled.pop()
+        else:
+            sequence = self._next_sequence[chiplet]
+            if self._capacity is not None and sequence >= self._capacity:
+                raise ChipletMemoryExhausted(chiplet)
+            self._next_sequence[chiplet] = sequence + 1
+            index = self._layout.block_for_chiplet(chiplet, sequence)
+        self._block_pool[index] = pool
+        self._blocks_split += 1
+        return index
+
+    @staticmethod
+    def _check_size(size: int) -> None:
+        if not is_pow2(size):
+            raise ValueError(f"frame size must be a power of two, got {size}")
+        if size > BLOCK_SIZE:
+            raise ValueError(
+                f"frame size {size_label(size)} exceeds the "
+                f"{size_label(BLOCK_SIZE)} PF block"
+            )

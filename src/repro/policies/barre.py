@@ -1,0 +1,37 @@
+"""Barre-Chord / F-Barre (Feng et al., ISCA'24) adapted to MCM paging.
+
+Barre-Chord interleaves pages uniformly across chiplets and exploits that
+very uniformity in the translation path: because the placement of a run
+of pages follows a fixed interleave function, the translations of a whole
+window of pages can be represented by one "chord" entry.  Translation
+reach approaches large-page levels *without* physical contiguity — but
+the round-robin placement itself is locality-blind, so data accesses pay
+high remote ratios on locality-rich workloads (Figure 18's F-Barre bars).
+
+Model: page ``i`` of an allocation maps to chiplet ``i mod n``;
+``pattern_coalescing`` gives each 16-page window single-entry reach.
+"""
+
+from __future__ import annotations
+
+from ..units import PAGE_64K
+from ..vm.va_space import Allocation
+from .base import PlacementPolicy
+
+
+class BarreChordPolicy(PlacementPolicy):
+    """Uniform page interleaving with pattern-coalesced translations."""
+
+    name = "F-Barre"
+    pattern_coalescing = True
+
+    def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
+        page_index = (vaddr - allocation.base) // PAGE_64K
+        chiplet = page_index % self.machine.num_chiplets
+        self.machine.pager.map_single(
+            vaddr,
+            PAGE_64K,
+            chiplet,
+            allocation.alloc_id,
+            self.pool_for(allocation),
+        )

@@ -1,0 +1,90 @@
+"""Terminal rendering of experiment results: ASCII bar charts.
+
+``render_bars`` turns an :class:`repro.experiments.common.ExperimentResult`
+into grouped horizontal bars — the closest a terminal gets to the
+paper's figures — with the remote-access ratio annotated where present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .experiments.common import ExperimentResult
+
+#: Glyph used for bar fills.
+_BAR = "█"
+_HALF = "▌"
+
+
+def _bar(value: float, scale: float, width: int) -> str:
+    if scale <= 0:
+        return ""
+    units = value / scale * width
+    full = int(units)
+    text = _BAR * full
+    if units - full >= 0.5:
+        text += _HALF
+    return text
+
+
+def render_bars(
+    result: ExperimentResult,
+    width: int = 40,
+    normalise_to: Optional[str] = None,
+) -> str:
+    """Render one bar per (workload, config) row, grouped by workload.
+
+    ``normalise_to`` names a config whose value becomes 1.0 within each
+    workload group (handy when the experiment stored absolute values).
+    """
+    if width < 8:
+        raise ValueError("width must be at least 8 characters")
+    configs = result.configs()
+    label_width = max(len(c) for c in configs)
+    lines = [f"{result.experiment}: {result.description}"]
+    peak = 0.0
+    values = {}
+    for workload in result.workloads():
+        base = 1.0
+        if normalise_to is not None:
+            base = result.row(workload, normalise_to).value
+            if base <= 0:
+                raise ValueError(
+                    f"cannot normalise: {normalise_to} is {base} "
+                    f"for {workload}"
+                )
+        for config in configs:
+            try:
+                row = result.row(workload, config)
+            except KeyError:
+                continue
+            value = row.value / base
+            values[(workload, config)] = (value, row.remote_ratio)
+            peak = max(peak, value)
+    for workload in result.workloads():
+        lines.append(f"-- {workload}")
+        for config in configs:
+            if (workload, config) not in values:
+                continue
+            value, remote = values[(workload, config)]
+            bar = _bar(value, peak, width)
+            annotation = f" {value:6.3f}"
+            if remote is not None:
+                annotation += f"  rr={remote:.2f}"
+            lines.append(f"  {config:>{label_width}s} {bar}{annotation}")
+    return "\n".join(lines)
+
+
+def render_summary(result: ExperimentResult, width: int = 40) -> str:
+    """Render the summary dict as labelled bars."""
+    if not result.summary:
+        return f"{result.experiment}: (no summary values)"
+    label_width = max(len(k) for k in result.summary)
+    peak = max(abs(v) for v in result.summary.values()) or 1.0
+    lines = [f"{result.experiment} — summary"]
+    for key, value in result.summary.items():
+        lines.append(
+            f"  {key:>{label_width}s} {_bar(abs(value), peak, width)}"
+            f" {value:.4f}"
+        )
+    return "\n".join(lines)

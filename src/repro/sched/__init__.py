@@ -1,0 +1,17 @@
+"""Threadblock and data arrangement policies (Section 2.7).
+
+:class:`StaticPlacementOracle` is imported lazily to avoid a circular
+import with :mod:`repro.trace` (the oracle inspects workload specs).
+"""
+
+from .threadblock import ft_chiplet_of_tb, rr_chiplet_of_tb
+
+__all__ = ["ft_chiplet_of_tb", "rr_chiplet_of_tb", "StaticPlacementOracle"]
+
+
+def __getattr__(name):
+    if name == "StaticPlacementOracle":
+        from .static_analysis import StaticPlacementOracle
+
+        return StaticPlacementOracle
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

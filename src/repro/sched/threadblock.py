@@ -1,0 +1,39 @@
+"""Threadblock-to-chiplet scheduling (Section 2.7).
+
+The baseline **First-Touch-based (FT)** arrangement schedules contiguous
+threadblocks on the same chiplet so that adjacent threadblocks — which
+tend to touch adjacent data — share a chiplet, and pairs that with
+first-touch data placement.  The trace generators use
+:func:`ft_chiplet_of_tb` to derive which chiplet *owns* (predominantly
+accesses) each region of each data structure; the chiplet-locality group
+granularity of a structure follows from how threadblock data ranges fold
+onto this schedule.
+"""
+
+from __future__ import annotations
+
+
+def ft_chiplet_of_tb(tb_index: int, num_tbs: int, num_chiplets: int) -> int:
+    """FT policy: contiguous threadblock ranges map to the same chiplet.
+
+    Threadblocks ``[0, num_tbs/n)`` run on chiplet 0, the next range on
+    chiplet 1, and so on (block partitioning).
+    """
+    if not 0 <= tb_index < num_tbs:
+        raise ValueError(f"tb_index {tb_index} out of range [0, {num_tbs})")
+    if num_chiplets < 1:
+        raise ValueError("num_chiplets must be >= 1")
+    per_chiplet = -(-num_tbs // num_chiplets)
+    return min(tb_index // per_chiplet, num_chiplets - 1)
+
+
+def rr_chiplet_of_tb(tb_index: int, num_tbs: int, num_chiplets: int) -> int:
+    """Round-robin scheduling: adjacent threadblocks on different chiplets.
+
+    Included as the contrast case: it destroys threadblock spatial
+    locality and is what makes *fine-grained* chiplet-locality groups
+    appear when a kernel's data ranges interleave across chiplets.
+    """
+    if not 0 <= tb_index < num_tbs:
+        raise ValueError(f"tb_index {tb_index} out of range [0, {num_tbs})")
+    return tb_index % num_chiplets

@@ -1,0 +1,15 @@
+"""Trace-driven simulation: machine state, engine, timing, results."""
+
+from .machine import Machine
+from .timing import TimingParams
+from .results import SimResult
+from .engine import run_simulation
+from .runner import run_workload
+
+__all__ = [
+    "Machine",
+    "TimingParams",
+    "SimResult",
+    "run_simulation",
+    "run_workload",
+]

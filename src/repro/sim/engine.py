@@ -1,0 +1,262 @@
+"""The trace-driven simulation engine.
+
+Replays a workload trace through the full memory path of Figure 3: for
+every access, (1) resolve page faults through the placement policy,
+(2) translate through the requester chiplet's TLB path — walking the page
+table and updating the Remote Tracker on misses — and (3) fetch the data
+through the L1 / remote-cache / home-L2 / DRAM path, paying ring latency
+for remote traffic.  Latencies accumulate into :class:`CycleCounters`
+and are folded into a cycle count by the timing model.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from ..arch.address import InterleavePolicy
+from ..config import GPUConfig, baseline_config
+from ..tlb.units import unit_for, valid_mask_for
+from ..trace.workload import Trace, Workload, WorkloadSpec
+from ..units import PAGE_64K
+from .energy import energy_report
+from .machine import Machine
+from .results import SimResult
+from .timing import CycleCounters, TimingParams, total_cycles
+
+
+def run_simulation(
+    workload: Union[WorkloadSpec, Workload],
+    policy,
+    config: Optional[GPUConfig] = None,
+    *,
+    interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
+    remote_cache: Optional[str] = None,
+    seed: int = 7,
+    timing: TimingParams = TimingParams(),
+    trace: Optional[Trace] = None,
+    capacity_blocks_per_chiplet: Optional[int] = None,
+    host_eviction: bool = False,
+    multi_page_tlb: bool = False,
+) -> SimResult:
+    """Run ``policy`` on ``workload`` and return the measured result.
+
+    ``workload`` may be a spec (a fresh machine-bound instance is built)
+    or an already-bound :class:`Workload` created against this machine's
+    VA space (advanced use; must match ``config.num_chiplets``).
+
+    ``capacity_blocks_per_chiplet`` bounds GPU memory (oversubscription
+    studies); with ``host_eviction`` the pager evicts least-recently-
+    mapped blocks to host memory instead of failing, and refaults pay a
+    host-transfer penalty (Section 4.7).
+    """
+    if config is None:
+        config = baseline_config()
+    machine = Machine(
+        config,
+        interleave=interleave,
+        remote_cache=remote_cache,
+        pte_placement=policy.pte_placement,
+        capacity_blocks_per_chiplet=capacity_blocks_per_chiplet,
+        multi_page_tlb=multi_page_tlb,
+    )
+    if host_eviction:
+        machine.pager.enable_host_eviction()
+    if isinstance(workload, WorkloadSpec):
+        workload = Workload(
+            workload, config.num_chiplets, va_space=machine.va_space, seed=seed
+        )
+    elif workload.va_space is not machine.va_space:
+        raise ValueError(
+            "a pre-bound Workload must share the machine's VA space; "
+            "pass the WorkloadSpec instead"
+        )
+    if trace is None:
+        trace = workload.build_trace(seed)
+    policy.attach(machine, workload)
+
+    allocations = {
+        a.alloc_id: a for a in workload.allocations.values()
+    }
+    counters = CycleCounters(
+        n_warp_instructions=trace.n_warp_instructions
+    )
+
+    # Localise hot-path state.
+    page_table = machine.page_table
+    lookup = page_table.lookup
+    paths = machine.paths
+    walkers = machine.walkers
+    l1_caches = machine.l1_caches
+    l2_caches = machine.l2_caches
+    remote_caches = machine.remote_caches
+    ring = machine.ring
+    layout = machine.layout
+    dram = machine.dram
+    fault_buffers = machine.fault_buffers
+    l1_latency = config.l1_latency
+    l2_latency = config.l2_latency
+    coalescing = policy.coalescing
+    pattern_coalescing = policy.pattern_coalescing
+    ideal = policy.ideal_translation
+    wants_stats = policy.wants_page_stats
+    num_chiplets = config.num_chiplets
+    naive_interleave = interleave is InterleavePolicy.NAIVE
+
+    chiplets = trace.chiplets
+    vaddrs = trace.vaddrs
+    alloc_ids = trace.alloc_ids
+    n = len(trace)
+
+    page_stats: Dict[int, List[int]] = {}
+    per_structure: Dict[int, List[int]] = {
+        aid: [0, 0] for aid in allocations
+    }
+    translation_cycles = 0
+    data_cycles = 0
+    remote_placement = 0
+    remote_on_ring = 0
+    faults = 0
+    eviction = machine.pager.eviction
+
+    kernel_starts = set(trace.kernel_starts)
+    epoch_len = max(1, n // max(policy.num_epochs, 1))
+    kernel_index = -1
+    epoch_index = 0
+    epoch_remote = 0
+    epoch_accesses = 0
+
+    for i in range(n):
+        if i in kernel_starts:
+            kernel_index += 1
+            policy.on_kernel(kernel_index)
+        requester = int(chiplets[i])
+        vaddr = int(vaddrs[i])
+        record = lookup(vaddr)
+        if record is None:
+            fault_buffers[requester].log(vaddr, requester)
+            policy.place(vaddr, requester, allocations[int(alloc_ids[i])])
+            fault_buffers[requester].drain()
+            record = lookup(vaddr)
+            if record is None:
+                raise RuntimeError(
+                    f"policy {policy.name!r} failed to map {vaddr:#x}"
+                )
+            faults += 1
+            if eviction is not None:
+                eviction.consume_host_refault(vaddr, record.page_size)
+
+        unit = unit_for(
+            vaddr,
+            record,
+            coalescing=coalescing,
+            pattern_coalescing=pattern_coalescing,
+            ideal=ideal,
+        )
+        walker = walkers[requester]
+        result = paths[requester].access(
+            unit,
+            walk=lambda: walker.walk(vaddr, record.alloc_id, record.chiplet),
+            valid_mask=lambda: valid_mask_for(unit, record, page_table),
+        )
+        translation_cycles += result.latency
+
+        paddr = record.paddr + (vaddr - record.va_base)
+        if naive_interleave:
+            # Monolithic-style 256B interleaving: the chiplet serving a
+            # line follows the fine interleave bits, not the frame —
+            # placement intent is physically unenforceable (Section 2.6).
+            home = layout.chiplet_of_paddr(paddr)
+        else:
+            home = record.chiplet
+        remote = home != requester
+        stats = per_structure[record.alloc_id]
+        stats[0] += 1
+        if remote:
+            remote_placement += 1
+            stats[1] += 1
+            epoch_remote += 1
+        epoch_accesses += 1
+
+        if l1_caches[requester].access(paddr):
+            data_cycles += l1_latency
+        else:
+            served_locally = False
+            if remote and remote_caches is not None:
+                if remote_caches[requester].access(paddr):
+                    data_cycles += l2_latency
+                    served_locally = True
+            if not served_locally:
+                cost = 0
+                if remote:
+                    cost += 2 * ring.latency(requester, home)
+                    ring.record_transfer(home, requester, 160)
+                    remote_on_ring += 1
+                if l2_caches[home].access(paddr):
+                    cost += l2_latency
+                else:
+                    channel = layout.channel_of_paddr(paddr)
+                    cost += l2_latency + dram.access(channel, paddr)
+                data_cycles += cost
+
+        if wants_stats:
+            page_base = vaddr & ~(PAGE_64K - 1)
+            counts = page_stats.get(page_base)
+            if counts is None:
+                counts = [0] * num_chiplets
+                page_stats[page_base] = counts
+            counts[requester] += 1
+
+        if (i + 1) % epoch_len == 0:
+            ratio = epoch_remote / epoch_accesses if epoch_accesses else 0.0
+            policy.on_epoch(epoch_index, page_stats, ratio)
+            epoch_index += 1
+            epoch_remote = 0
+            epoch_accesses = 0
+            if wants_stats:
+                page_stats = {}
+
+    counters.n_accesses = n
+    counters.translation_cycles = translation_cycles
+    counters.data_cycles = data_cycles
+    counters.remote_accesses = remote_on_ring
+    counters.migration_cycles = machine.pager.migration.total_cycles()
+    if eviction is not None:
+        counters.host_fault_cycles = eviction.stats.host_fault_cycles()
+    cycles = total_cycles(counters, ring, timing)
+
+    coverage = None
+    if remote_caches is not None:
+        lookups = sum(rc.remote_lookups for rc in remote_caches)
+        hits = sum(rc.remote_hits for rc in remote_caches)
+        coverage = hits / lookups if lookups else 0.0
+
+    name_by_id = {
+        a.alloc_id: name for name, a in workload.allocations.items()
+    }
+    return SimResult(
+        workload=workload.spec.abbr,
+        policy=policy.name,
+        cycles=cycles,
+        n_accesses=n,
+        n_warp_instructions=trace.n_warp_instructions,
+        remote_accesses=remote_placement,
+        translation_cycles=translation_cycles,
+        data_cycles=data_cycles,
+        l2_misses=machine.l2_misses,
+        l2_tlb_misses=machine.l2_tlb_misses,
+        page_faults=faults,
+        migrations=(
+            machine.pager.migration.pages_migrated
+            + machine.pager.migration.pages_migrated_free
+        ),
+        host_refaults=(
+            eviction.stats.host_refaults if eviction is not None else 0
+        ),
+        energy=energy_report(machine),
+        blocks_consumed=machine.allocator.blocks_consumed,
+        selections=policy.selection_report(),
+        per_structure_remote={
+            name_by_id[aid]: tuple(v) for aid, v in per_structure.items()
+        },
+        remote_cache_coverage=coverage,
+    )

@@ -1,0 +1,101 @@
+"""Result records produced by a simulation run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..units import size_label
+
+
+@dataclass(frozen=True)
+class SelectionInfo:
+    """Page size a policy ended up using for one data structure."""
+
+    page_size: int
+    via_olp: bool = False
+
+    @property
+    def label(self) -> str:
+        text = size_label(self.page_size)
+        return f"{text}*" if self.via_olp else text
+
+
+@dataclass
+class SimResult:
+    """Everything one simulation run reports.
+
+    ``performance`` is warp instructions per cycle under the analytic
+    timing model — meaningful only as a *ratio* between configurations,
+    exactly how the paper's figures present it.
+    """
+
+    workload: str
+    policy: str
+    cycles: float
+    n_accesses: int
+    n_warp_instructions: int
+    remote_accesses: int
+    translation_cycles: int
+    data_cycles: int
+    l2_misses: int
+    l2_tlb_misses: int
+    page_faults: int
+    migrations: int
+    blocks_consumed: int
+    host_refaults: int = 0
+    #: per-component energy (picojoules); see repro.sim.energy
+    energy: Optional[object] = None
+    selections: Dict[str, SelectionInfo] = field(default_factory=dict)
+    per_structure_remote: Dict[str, Tuple[int, int]] = field(
+        default_factory=dict
+    )
+    remote_cache_coverage: Optional[float] = None
+
+    @property
+    def performance(self) -> float:
+        if self.cycles <= 0:
+            raise ValueError("cycles must be positive")
+        return self.n_warp_instructions / self.cycles
+
+    @property
+    def remote_ratio(self) -> float:
+        """Remote accesses as a fraction of memory instructions."""
+        return (
+            self.remote_accesses / self.n_accesses if self.n_accesses else 0.0
+        )
+
+    @property
+    def l2_mpki(self) -> float:
+        """L2 cache misses per kilo warp instructions."""
+        if not self.n_warp_instructions:
+            return 0.0
+        return 1000.0 * self.l2_misses / self.n_warp_instructions
+
+    @property
+    def l2_tlb_mpki(self) -> float:
+        """L2 TLB misses (page walks) per kilo warp instructions."""
+        if not self.n_warp_instructions:
+            return 0.0
+        return 1000.0 * self.l2_tlb_misses / self.n_warp_instructions
+
+    @property
+    def avg_translation_cycles(self) -> float:
+        return (
+            self.translation_cycles / self.n_accesses
+            if self.n_accesses
+            else 0.0
+        )
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """Performance of this run relative to ``baseline`` (1.0 = equal)."""
+        if self.workload != baseline.workload:
+            raise ValueError(
+                "speedup comparisons require the same workload "
+                f"({self.workload} vs {baseline.workload})"
+            )
+        return self.performance / baseline.performance
+
+    def structure_remote_ratio(self, name: str) -> float:
+        accesses, remotes = self.per_structure_remote.get(name, (0, 0))
+        return remotes / accesses if accesses else 0.0

@@ -1,0 +1,78 @@
+"""Convenience entry points for running suite workloads under policies.
+
+``run_workload("STE", clap())`` is the one-liner the examples and the
+experiment modules build on; it resolves suite abbreviations, builds the
+policy by name when given a string, and memoises nothing — every call is
+an independent simulation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from ..arch.address import InterleavePolicy
+from ..config import GPUConfig
+from ..trace.suite import workload_by_name
+from ..trace.workload import WorkloadSpec
+from .engine import run_simulation
+from .results import SimResult
+from .timing import TimingParams
+
+
+def resolve_policy(policy):
+    """Accept a policy instance or a well-known policy name."""
+    if not isinstance(policy, str):
+        return policy
+    from ..core.clap import ClapPolicy
+    from ..policies import (
+        BarreChordPolicy,
+        CNumaPolicy,
+        GritPolicy,
+        IdealPolicy,
+        MgvmPolicy,
+        StaticPaging,
+    )
+    from ..units import parse_size
+
+    key = policy.strip()
+    upper = key.upper()
+    if upper.startswith("S-"):
+        return StaticPaging(parse_size(upper[2:]))
+    named = {
+        "CLAP": ClapPolicy,
+        "IDEAL": IdealPolicy,
+        "MGVM": MgvmPolicy,
+        "F-BARRE": BarreChordPolicy,
+        "BARRE": BarreChordPolicy,
+        "GRIT": GritPolicy,
+    }
+    if upper in named:
+        return named[upper]()
+    if upper == "IDEAL_C-NUMA":
+        return CNumaPolicy(intermediate=False)
+    if upper == "IDEAL_C-NUMA+INTER":
+        return CNumaPolicy(intermediate=True)
+    raise ValueError(f"unknown policy name {policy!r}")
+
+
+def run_workload(
+    workload: Union[str, WorkloadSpec],
+    policy,
+    config: Optional[GPUConfig] = None,
+    *,
+    interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
+    remote_cache: Optional[str] = None,
+    seed: int = 7,
+    timing: TimingParams = TimingParams(),
+) -> SimResult:
+    """Run one (workload, policy) pair and return its :class:`SimResult`."""
+    spec = workload_by_name(workload) if isinstance(workload, str) else workload
+    return run_simulation(
+        spec,
+        resolve_policy(policy),
+        config,
+        interleave=interleave,
+        remote_cache=remote_cache,
+        seed=seed,
+        timing=timing,
+    )

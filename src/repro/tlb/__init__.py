@@ -1,0 +1,16 @@
+"""TLB hierarchy: per-size L1/L2 TLBs, coalesced entries, translation units."""
+
+from .tlb import SetAssociativeTLB, TLBEntry
+from .units import TranslationUnit, UnitKind, unit_for, valid_mask_for
+from .hierarchy import TranslationPath, TranslationResult
+
+__all__ = [
+    "SetAssociativeTLB",
+    "TLBEntry",
+    "TranslationUnit",
+    "UnitKind",
+    "unit_for",
+    "valid_mask_for",
+    "TranslationPath",
+    "TranslationResult",
+]

@@ -1,0 +1,180 @@
+"""Per-chiplet translation path: L1 TLB -> L2 TLB -> page walk.
+
+Memory requests consult only the TLBs of their originating chiplet
+(chiplet-private L2 TLBs, Section 2.4).  Each chiplet keeps one L1 and one
+L2 TLB per page-size class; classes are created lazily as configurations
+introduce them (4KB, 64KB — which also hosts coalesced entries — 2MB, and
+at most one native intermediate size in the Figure 6 sweeps).
+
+The L1 TLB models the *aggregate* of the chiplet's per-SM L1 TLBs, since
+the trace interleaves all SMs of a chiplet into one stream; its capacity
+is the per-SM entry count times the SM count, divided by the footprint
+scale (see ``GPUConfig``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from ..config import GPUConfig
+from ..units import NATIVE_PAGE_SIZES
+from .multipage import MultiPageTLB
+from .tlb import SetAssociativeTLB
+from .units import TranslationUnit
+
+
+@dataclass(frozen=True)
+class TranslationResult:
+    """Outcome of one translation: where it hit and what it cost."""
+
+    level: str  # "L1", "L2", or "walk"
+    latency: int
+    walked: bool
+
+
+class TranslationPath:
+    """The TLB hierarchy of one chiplet.
+
+    ``multi_page=True`` models the Section 4.7 discussion: instead of a
+    TLB per page size, each level is one skewed-associative structure
+    whose capacity (the sum of the per-size baseline capacities) is
+    shared across sizes.
+    """
+
+    def __init__(
+        self, config: GPUConfig, chiplet: int, multi_page: bool = False
+    ) -> None:
+        self.config = config
+        self.chiplet = chiplet
+        self.multi_page = multi_page
+        self._l1: Dict[int, SetAssociativeTLB] = {}
+        self._l2: Dict[int, SetAssociativeTLB] = {}
+        self._mp_l1: MultiPageTLB = None
+        self._mp_l2: MultiPageTLB = None
+        if multi_page:
+            l1_total = sum(
+                config.scaled_l1_tlb_entries(size)
+                for size in NATIVE_PAGE_SIZES
+            )
+            l2_total = sum(
+                config.scaled_l2_tlb_entries(size)
+                for size in NATIVE_PAGE_SIZES
+            )
+            ways = min(config.l2_tlb.associativity, l2_total)
+            while l2_total % ways:
+                ways -= 1
+            self._mp_l1 = MultiPageTLB(l1_total)  # fully associative
+            self._mp_l2 = MultiPageTLB(l2_total, ways=ways)
+        self.l1_hits = 0
+        self.l2_hits = 0
+        self.walks = 0
+
+    def _tlbs(self, size_class: int) -> Tuple[SetAssociativeTLB, SetAssociativeTLB]:
+        l1 = self._l1.get(size_class)
+        if l1 is None:
+            l1 = SetAssociativeTLB(
+                entries=self.config.scaled_l1_tlb_entries(size_class),
+                ways=0,  # fully associative (Table 1)
+                index_granule=size_class,
+            )
+            l2_entries = self.config.scaled_l2_tlb_entries(size_class)
+            ways = min(self.config.l2_tlb.associativity, l2_entries)
+            # keep entries divisible by ways
+            while l2_entries % ways:
+                ways -= 1
+            l2 = SetAssociativeTLB(
+                entries=l2_entries, ways=ways, index_granule=size_class
+            )
+            self._l1[size_class] = l1
+            self._l2[size_class] = l2
+        return l1, self._l2[size_class]
+
+    def access(
+        self,
+        unit: TranslationUnit,
+        walk: Callable[[], int],
+        valid_mask: Callable[[], int],
+    ) -> TranslationResult:
+        """Translate one access.
+
+        ``walk`` is invoked only on an L2 TLB miss and must return the
+        page-walk latency in cycles (the GMMU models it; Remote Tracker
+        updates happen inside).  ``valid_mask`` is invoked only when an
+        entry must be installed — the PTE-line inspection the hardware
+        coalescing logic performs on a fill.  L1 hits cost nothing extra:
+        the L1 TLB lookup is pipelined with the L1 cache access.
+        """
+        if self.multi_page:
+            return self._access_multi_page(unit, walk, valid_mask)
+        l1, l2 = self._tlbs(unit.size_class)
+        if l1.lookup(unit.tag, unit.page_bit):
+            self.l1_hits += 1
+            return TranslationResult("L1", 0, walked=False)
+        if l2.lookup(unit.tag, unit.page_bit):
+            self.l2_hits += 1
+            l1.insert(unit.tag, unit.coverage, valid_mask())
+            return TranslationResult(
+                "L2", self.config.l2_tlb.latency, walked=False
+            )
+        walk_latency = walk()
+        self.walks += 1
+        mask = valid_mask()
+        l2.insert(unit.tag, unit.coverage, mask)
+        l1.insert(unit.tag, unit.coverage, mask)
+        return TranslationResult(
+            "walk", self.config.l2_tlb.latency + walk_latency, walked=True
+        )
+
+    def _access_multi_page(
+        self,
+        unit: TranslationUnit,
+        walk: Callable[[], int],
+        valid_mask: Callable[[], int],
+    ) -> TranslationResult:
+        if self._mp_l1.lookup(unit.tag, unit.size_class, unit.page_bit):
+            self.l1_hits += 1
+            return TranslationResult("L1", 0, walked=False)
+        if self._mp_l2.lookup(unit.tag, unit.size_class, unit.page_bit):
+            self.l2_hits += 1
+            self._mp_l1.insert(
+                unit.tag, unit.size_class, unit.coverage, valid_mask()
+            )
+            return TranslationResult(
+                "L2", self.config.l2_tlb.latency, walked=False
+            )
+        walk_latency = walk()
+        self.walks += 1
+        mask = valid_mask()
+        self._mp_l2.insert(unit.tag, unit.size_class, unit.coverage, mask)
+        self._mp_l1.insert(unit.tag, unit.size_class, unit.coverage, mask)
+        return TranslationResult(
+            "walk", self.config.l2_tlb.latency + walk_latency, walked=True
+        )
+
+    def shootdown(self, tag: int, size_class: int) -> None:
+        """Invalidate the unit at ``tag`` in both levels (migration path)."""
+        if self.multi_page:
+            self._mp_l1.invalidate(tag, size_class)
+            self._mp_l2.invalidate(tag, size_class)
+            return
+        if size_class in self._l1:
+            self._l1[size_class].invalidate(tag)
+            self._l2[size_class].invalidate(tag)
+
+    def flush(self) -> None:
+        if self.multi_page:
+            self._mp_l1.flush()
+            self._mp_l2.flush()
+            return
+        for tlb in list(self._l1.values()) + list(self._l2.values()):
+            tlb.flush()
+
+    @property
+    def accesses(self) -> int:
+        return self.l1_hits + self.l2_hits + self.walks
+
+    @property
+    def l2_misses(self) -> int:
+        """Translations that required a page walk (the L2 TLB MPKI base)."""
+        return self.walks

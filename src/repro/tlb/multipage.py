@@ -1,0 +1,107 @@
+"""Multi-page TLBs: one structure for all page sizes (Section 4.7).
+
+The baseline keeps a separate TLB per page size (Table 1).  The paper's
+discussion notes CLAP also operates with *multi-page* TLB designs —
+skewed-associative structures that store entries of different page sizes
+together (Seznec '04; Papadopoulou et al. HPCA'15) — with coalescing
+applied per Cox & Bhattacharjee (ASPLOS'17).
+
+The model: a set-associative structure whose set index hashes the entry
+tag *with its size class* (each size effectively gets its own skewing
+function, the essence of the skewed-associative design), and whose
+capacity is shared by all sizes.  The shared capacity is the design's
+trade-off: a burst of small-page entries can evict large-page entries,
+which separate per-size TLBs cannot suffer.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..units import is_pow2
+
+
+@dataclass
+class MultiPageEntry:
+    tag: int
+    size_class: int
+    coverage: int
+    valid_mask: int
+
+
+class MultiPageTLB:
+    """Skewed-associative TLB holding mixed-size entries."""
+
+    def __init__(self, entries: int, ways: int = 0) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        if ways == 0 or ways >= entries:
+            ways = entries
+        if entries % ways:
+            raise ValueError(
+                f"entries ({entries}) must be divisible by ways ({ways})"
+            )
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self._sets: List["OrderedDict[Tuple[int, int], MultiPageEntry]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+
+    def _set_of(self, tag: int, size_class: int):
+        # Skewing: the size class perturbs the index function so that
+        # same-index pages of different sizes land in different sets.
+        index = (tag // size_class) ^ (size_class.bit_length() * 0x9E37)
+        return self._sets[index % self.num_sets]
+
+    def lookup(self, tag: int, size_class: int, page_bit: int = 0) -> bool:
+        entries = self._set_of(tag, size_class)
+        key = (tag, size_class)
+        entry = entries.get(key)
+        if entry is not None and entry.valid_mask >> page_bit & 1:
+            entries.move_to_end(key)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(
+        self, tag: int, size_class: int, coverage: int, valid_mask: int
+    ) -> None:
+        if valid_mask <= 0:
+            raise ValueError("valid_mask must have at least one bit set")
+        entries = self._set_of(tag, size_class)
+        key = (tag, size_class)
+        entry = entries.get(key)
+        if entry is not None:
+            if entry.coverage != coverage:
+                entries[key] = MultiPageEntry(
+                    tag, size_class, coverage, valid_mask
+                )
+            else:
+                entry.valid_mask |= valid_mask
+            entries.move_to_end(key)
+            return
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[key] = MultiPageEntry(tag, size_class, coverage, valid_mask)
+
+    def invalidate(self, tag: int, size_class: int) -> bool:
+        entries = self._set_of(tag, size_class)
+        return entries.pop((tag, size_class), None) is not None
+
+    def flush(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses

@@ -1,0 +1,138 @@
+"""A set-associative TLB with LRU replacement and coalesced-entry support.
+
+Entries are keyed by the base virtual address of the *translation unit*
+they cover — a native page, or a coalesced group of up to sixteen
+contiguous base pages (Section 4.6).  A coalesced entry carries a valid
+bitmap: one bit per base page, so a lookup of a page whose PTE was not yet
+observed by the coalescing logic misses even though the entry is present,
+exactly as in the hardware flow (the walk then merges the new valid bits
+into the existing entry).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..units import PAGE_64K, is_pow2
+
+
+@dataclass
+class TLBEntry:
+    """One TLB entry covering ``coverage`` bytes starting at ``tag``."""
+
+    tag: int
+    coverage: int
+    valid_mask: int
+
+    def covers(self, vaddr: int) -> bool:
+        return self.tag <= vaddr < self.tag + self.coverage
+
+
+class SetAssociativeTLB:
+    """LRU set-associative TLB.
+
+    Parameters
+    ----------
+    entries:
+        Total entry count.
+    ways:
+        Associativity; ``0`` means fully associative.
+    index_granule:
+        Byte granule used to compute the set index from the unit tag.
+        Units of different coverages can share the structure (coalesced
+        64KB groups live in the 64KB-class TLB).
+    """
+
+    def __init__(
+        self, entries: int, ways: int = 0, index_granule: int = PAGE_64K
+    ) -> None:
+        if entries < 1:
+            raise ValueError("entries must be >= 1")
+        if not is_pow2(index_granule):
+            raise ValueError("index_granule must be a power of two")
+        if ways == 0 or ways >= entries:
+            ways = entries
+        if entries % ways:
+            raise ValueError(
+                f"entries ({entries}) must be divisible by ways ({ways})"
+            )
+        self.entries = entries
+        self.ways = ways
+        self.num_sets = entries // ways
+        self.index_granule = index_granule
+        self._sets: List["OrderedDict[int, TLBEntry]"] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.coalesced_merges = 0
+
+    def _set_of(self, tag: int) -> "OrderedDict[int, TLBEntry]":
+        return self._sets[(tag // self.index_granule) % self.num_sets]
+
+    def lookup(self, tag: int, page_bit: int = 0) -> bool:
+        """Probe for the unit at ``tag``; ``page_bit`` selects the valid bit.
+
+        Returns True on a hit (entry present *and* the page's valid bit
+        set).  Updates LRU order and hit/miss statistics.
+        """
+        entries = self._set_of(tag)
+        entry = entries.get(tag)
+        if entry is not None and entry.valid_mask >> page_bit & 1:
+            entries.move_to_end(tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def insert(self, tag: int, coverage: int, valid_mask: int) -> None:
+        """Install (or merge into) the entry for the unit at ``tag``.
+
+        When the entry already exists, the new valid bits are OR-ed in —
+        the hardware coalescing merge (Section 4.6).  Otherwise the LRU
+        victim of the set is evicted.
+        """
+        if valid_mask <= 0:
+            raise ValueError("valid_mask must have at least one bit set")
+        entries = self._set_of(tag)
+        entry = entries.get(tag)
+        if entry is not None:
+            if entry.coverage != coverage:
+                # A promotion changed the unit shape; replace outright.
+                entries[tag] = TLBEntry(tag, coverage, valid_mask)
+            else:
+                entry.valid_mask |= valid_mask
+                self.coalesced_merges += 1
+            entries.move_to_end(tag)
+            return
+        if len(entries) >= self.ways:
+            entries.popitem(last=False)
+        entries[tag] = TLBEntry(tag, coverage, valid_mask)
+
+    def invalidate(self, tag: int) -> bool:
+        """Drop the entry at ``tag`` (shootdown); True if it was present."""
+        entries = self._set_of(tag)
+        return entries.pop(tag, None) is not None
+
+    def flush(self) -> None:
+        for entries in self._sets:
+            entries.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.coalesced_merges = 0

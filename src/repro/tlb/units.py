@@ -1,0 +1,127 @@
+"""Translation units: what one TLB entry covers under each configuration.
+
+The simulator resolves every access to a *translation unit* before probing
+the TLBs: the unit's tag, coverage, the TLB size-class it lives in, and
+the valid-bit the access needs.  This captures the reach regimes of the
+paper:
+
+* **native** — an ordinary PTE of the mapping's page size (including
+  promoted 2MB pages and the hypothetical native intermediate sizes of
+  the Figure 6 sweep);
+* **coalesced** — CLAP's deliberately contiguous groups: up to sixteen
+  64KB pages covered by a single entry with per-page valid bits
+  (Section 4.6).  Requires the pages to be virtually *and* physically
+  contiguous, which CLAP's reservation-based mapping guarantees;
+* **pattern** — Barre-Chord-style entries that cover a window of pages
+  whose placement follows a uniform interleave function; no physical
+  contiguity needed, but the pattern must hold;
+* **ideal** — the paper's 'Ideal' configuration: 64KB placement but 2MB
+  translation reach, free of charge.
+
+Valid masks are computed lazily (:func:`valid_mask_for`): they require a
+scan of the unit's window in the page table, which the hardware performs
+only when a walk fetches the 128B PTE line — the simulator likewise pays
+that cost only on TLB insertion, not on every lookup.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..units import PAGE_2M, PAGE_64K, align_down
+from ..vm.page_table import MappingRecord, PageTable
+
+#: A coalesced entry covers at most sixteen base pages: one 128B PTE cache
+#: line holds sixteen 8-byte PTEs (Section 4.6).
+COALESCE_WINDOW_PAGES = 16
+
+
+class UnitKind(enum.Enum):
+    NATIVE = "native"
+    COALESCED = "coalesced"
+    PATTERN = "pattern"
+    IDEAL = "ideal"
+
+
+@dataclass(frozen=True)
+class TranslationUnit:
+    """What a single TLB entry would cover for a given access."""
+
+    kind: UnitKind
+    tag: int
+    coverage: int
+    size_class: int
+    page_bit: int
+
+
+def unit_for(
+    vaddr: int,
+    record: MappingRecord,
+    *,
+    coalescing: bool = False,
+    pattern_coalescing: bool = False,
+    ideal: bool = False,
+) -> TranslationUnit:
+    """Compute the translation unit serving ``vaddr`` under the given flags."""
+    if ideal:
+        tag = align_down(vaddr, PAGE_2M)
+        return TranslationUnit(UnitKind.IDEAL, tag, PAGE_2M, PAGE_2M, 0)
+
+    page_size = record.page_size
+    if page_size > PAGE_64K or not (coalescing or pattern_coalescing):
+        # Promoted / native page (incl. native intermediate sweep sizes),
+        # or a plain base page on a system without coalescing hardware.
+        return TranslationUnit(
+            UnitKind.NATIVE, record.va_base, page_size, page_size, 0
+        )
+
+    window = COALESCE_WINDOW_PAGES * page_size
+
+    if coalescing:
+        region = record.region
+        group = record.contiguity_size
+        if region is not None and group > page_size:
+            span = min(group, window)
+            offset_in_group = record.va_base - record.contiguity_base
+            base = record.contiguity_base + align_down(offset_in_group, span)
+            bit = (record.va_base - base) // page_size
+            return TranslationUnit(
+                UnitKind.COALESCED, base, span, page_size, bit
+            )
+
+    if pattern_coalescing:
+        base = align_down(record.va_base, window)
+        bit = (record.va_base - base) // page_size
+        return TranslationUnit(UnitKind.PATTERN, base, window, page_size, bit)
+
+    return TranslationUnit(
+        UnitKind.NATIVE, record.va_base, page_size, page_size, 0
+    )
+
+
+def valid_mask_for(
+    unit: TranslationUnit, record: MappingRecord, page_table: PageTable
+) -> int:
+    """Valid bits the PTE-line fetch would install for ``unit``.
+
+    For coalesced units, bit *i* is set when the window's *i*-th base
+    page is mapped and belongs to the same reservation (physical
+    contiguity guaranteed); for pattern units, when it is simply mapped
+    at the base size.  Native/ideal units cover a single page.
+    """
+    if unit.kind in (UnitKind.NATIVE, UnitKind.IDEAL):
+        return 1
+    page_size = unit.size_class
+    pages = unit.coverage // page_size
+    require_region = record.region if unit.kind is UnitKind.COALESCED else None
+    mask = 0
+    for i in range(pages):
+        candidate = page_table.lookup(unit.tag + i * page_size)
+        if candidate is None or candidate.page_size != page_size:
+            continue
+        if require_region is not None and candidate.region is not require_region:
+            continue
+        mask |= 1 << i
+    # The requested page is always mapped (the fault path ran first).
+    return mask | (1 << unit.page_bit)

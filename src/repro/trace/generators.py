@@ -1,0 +1,210 @@
+"""Trace generation: turning workload specs into access streams.
+
+The generator reproduces the structural properties the paper's mechanisms
+depend on (see ``workload.py``): per-chiplet ownership of page groups,
+wave-based reuse, scan order of first touches, shared structures rotating
+across chiplets, and irregular noise.  Streams from all chiplets and all
+structures of a kernel are merged on a common normalised time axis so
+that chiplets progress concurrently — exactly the condition under which
+first-touch placement builds the sample mapping CLAP profiles.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..units import CACHE_LINE, PAGE_64K
+from .workload import Pattern, Scan, StructureSpec, Trace, Workload
+
+#: Pages per 2MB VA block; used by the block-strided scan order.
+_PAGES_PER_BLOCK = 32
+
+
+def scan_order(pages: np.ndarray, scan: Scan) -> np.ndarray:
+    """Order the given page indices according to the scan pattern.
+
+    ``BLOCK_STRIDED`` visits one page of every VA block before a second
+    page of any block: the tiled-traversal order that leaves 2MB blocks
+    partially mapped during CLAP's PMM window (LUD, GEMM A/C in §5.1).
+    """
+    if scan is Scan.SEQUENTIAL:
+        return np.sort(pages)
+    ordered = np.sort(pages)
+    key = ordered % _PAGES_PER_BLOCK
+    return ordered[np.argsort(key, kind="stable")]
+
+
+def _line_offsets(lines_per_touch: int) -> np.ndarray:
+    """Cache-line-aligned offsets touched inside a page on each wave.
+
+    Lines are grouped into a few 4KB sub-page clusters spread across the
+    64KB page: GPU warps touch cache lines densely within a few kilobytes
+    (coalesced 32-thread accesses) while threadblocks stride across the
+    page.  The clustering matters for the 4KB-page configurations — a
+    4KB PTE then covers several of a touch's lines, giving 4KB pages the
+    modest (not catastrophic) translation disadvantage the paper reports
+    (Figure 1).
+    """
+    if lines_per_touch > PAGE_64K // CACHE_LINE:
+        raise ValueError("lines_per_touch exceeds lines per page")
+    clusters = max(1, lines_per_touch // 3)
+    cluster_stride = (PAGE_64K // clusters) & ~(4096 - 1)
+    if cluster_stride == 0:
+        cluster_stride = 4096
+    j = np.arange(lines_per_touch)
+    offsets = (j % clusters) * cluster_stride + (j // clusters) * CACHE_LINE
+    return (offsets % PAGE_64K).astype(np.int64)
+
+
+def _structure_stream(
+    workload: Workload,
+    structure: StructureSpec,
+    alloc_base: int,
+    alloc_id: int,
+    subset: float,
+    owner_shift: int,
+    waves: int,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Access stream of one structure within one kernel.
+
+    Returns ``(times, chiplets, vaddrs, alloc_ids)`` arrays, unsorted.
+    """
+    n = workload.num_chiplets
+    owners = workload.owner_map(structure)
+    num_pages = max(1, int(structure.num_pages * subset))
+    owners = owners[:num_pages]
+    if owner_shift:
+        owners = (owners + owner_shift) % n
+    offsets = _line_offsets(structure.lines_per_touch)
+    lines = structure.lines_per_touch
+    shared = structure.pattern is Pattern.SHARED
+
+    times: List[np.ndarray] = []
+    chiplets: List[np.ndarray] = []
+    vaddrs: List[np.ndarray] = []
+
+    if shared:
+        # Every chiplet streams the *whole* structure concurrently (all
+        # threadblocks read all of matrix B).  The designated owner of a
+        # page — a race in reality, a per-page random draw here — touches
+        # it an instant before the others, so first-touch placement maps
+        # the page to the owner while the other chiplets immediately
+        # access it remotely.  This is what makes the Remote Tracker see
+        # the ~(n-1)/n inherent remote ratio during PMM (Section 4.4).
+        pages = scan_order(np.arange(num_pages), structure.scan)
+        page_vaddr = alloc_base + pages.astype(np.int64) * PAGE_64K
+        touch_vaddr = np.repeat(page_vaddr, lines) + np.tile(offsets, num_pages)
+        page_owner = owners[pages]
+        tie_break = 1e-7
+        for chiplet in range(n):
+            accessor = np.full(num_pages, chiplet, dtype=np.int8)
+            late = (page_owner != chiplet) * tie_break
+            for wave in range(waves):
+                touch_time = (
+                    wave + (np.arange(num_pages) + 0.5) / num_pages + late
+                ) / waves
+                times.append(np.repeat(touch_time, lines))
+                chiplets.append(np.repeat(accessor, lines))
+                vaddrs.append(touch_vaddr)
+        all_times = np.concatenate(times)
+        all_chiplets = np.concatenate(chiplets)
+        all_vaddrs = np.concatenate(vaddrs)
+        all_ids = np.full(len(all_times), alloc_id, dtype=np.int16)
+        return all_times, all_chiplets, all_vaddrs, all_ids
+
+    for chiplet in range(n):
+        pages_c = np.nonzero(owners == chiplet)[0]
+        if len(pages_c) == 0:
+            continue
+        pages_c = scan_order(pages_c, structure.scan)
+        count = len(pages_c)
+        page_vaddr = alloc_base + pages_c.astype(np.int64) * PAGE_64K
+        touch_vaddr = (
+            np.repeat(page_vaddr, lines) + np.tile(offsets, count)
+        )
+        for wave in range(waves):
+            # Normalised time in [0, 1): all chiplets and structures
+            # progress together through the kernel.
+            touch_time = (wave + (np.arange(count) + 0.5) / count) / waves
+            accessor = np.full(count * lines, chiplet, dtype=np.int8)
+            if structure.noise > 0.0:
+                # Irregular accesses: each *line* access may come from a
+                # random chiplet (data-dependent indexing).  The very
+                # first touch of a page is less likely to be foreign
+                # (halved noise): the owning chiplet's threadblocks reach
+                # their own data first, so the first-touch sample mapping
+                # stays representative while the Remote Tracker still
+                # observes the steady-state remote traffic.
+                noise = np.full(count * lines, structure.noise)
+                if wave == 0:
+                    noise[0::lines] *= 0.5
+                noisy = rng.random(count * lines) < noise
+                accessor[noisy] = rng.integers(
+                    0, n, size=int(noisy.sum()), dtype=np.int8
+                )
+            times.append(np.repeat(touch_time, lines))
+            chiplets.append(accessor)
+            vaddrs.append(touch_vaddr)
+
+    all_times = np.concatenate(times)
+    all_chiplets = np.concatenate(chiplets)
+    all_vaddrs = np.concatenate(vaddrs)
+    all_ids = np.full(len(all_times), alloc_id, dtype=np.int16)
+    return all_times, all_chiplets, all_vaddrs, all_ids
+
+
+def build_trace(workload: Workload, seed: int) -> Trace:
+    """Generate the full trace for ``workload`` (all kernels, in order)."""
+    spec = workload.spec
+    rng = np.random.default_rng(seed)
+    kernel_starts: List[int] = []
+    chunks: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    total = 0
+
+    for kernel in spec.effective_kernels:
+        times: List[np.ndarray] = []
+        chiplets: List[np.ndarray] = []
+        vaddrs: List[np.ndarray] = []
+        alloc_ids: List[np.ndarray] = []
+        for usage in kernel.uses:
+            structure = spec.structure(usage.name)
+            allocation = workload.allocations[usage.name]
+            t, c, v, a = _structure_stream(
+                workload,
+                structure,
+                allocation.base,
+                allocation.alloc_id,
+                subset=usage.subset,
+                owner_shift=usage.owner_shift,
+                waves=usage.waves or structure.waves,
+                rng=rng,
+            )
+            times.append(t)
+            chiplets.append(c)
+            vaddrs.append(v)
+            alloc_ids.append(a)
+        merged_time = np.concatenate(times)
+        order = np.argsort(merged_time, kind="stable")
+        kernel_starts.append(total)
+        chunk = (
+            np.concatenate(chiplets)[order],
+            np.concatenate(vaddrs)[order],
+            np.concatenate(alloc_ids)[order],
+        )
+        chunks.append(chunk)
+        total += len(order)
+
+    all_chiplets = np.concatenate([c[0] for c in chunks])
+    all_vaddrs = np.concatenate([c[1] for c in chunks])
+    all_ids = np.concatenate([c[2] for c in chunks])
+    n_warp = int(round(total / spec.mem_fraction))
+    return Trace(
+        chiplets=all_chiplets,
+        vaddrs=all_vaddrs,
+        alloc_ids=all_ids,
+        kernel_starts=kernel_starts,
+        n_warp_instructions=n_warp,
+    )

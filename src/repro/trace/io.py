@@ -1,0 +1,50 @@
+"""Trace serialization: save and reload generated access streams.
+
+Traces are deterministic given (spec, chiplets, seed), but regenerating a
+large sweep repeatedly is wasteful and external tools may want the raw
+streams.  ``save_trace``/``load_trace`` round-trip a :class:`Trace`
+through a compressed ``.npz`` archive.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from .workload import Trace
+
+#: Format version embedded in every archive.
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
+    """Write ``trace`` to ``path`` as a compressed npz archive."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        chiplets=trace.chiplets,
+        vaddrs=trace.vaddrs,
+        alloc_ids=trace.alloc_ids,
+        kernel_starts=np.asarray(trace.kernel_starts, dtype=np.int64),
+        n_warp_instructions=np.int64(trace.n_warp_instructions),
+    )
+
+
+def load_trace(path: Union[str, os.PathLike]) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    with np.load(path) as archive:
+        version = int(archive["version"])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace format version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        return Trace(
+            chiplets=archive["chiplets"],
+            vaddrs=archive["vaddrs"],
+            alloc_ids=archive["alloc_ids"],
+            kernel_starts=[int(k) for k in archive["kernel_starts"]],
+            n_warp_instructions=int(archive["n_warp_instructions"]),
+        )

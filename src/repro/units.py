@@ -1,0 +1,114 @@
+"""Size and page-size units used throughout the reproduction.
+
+All sizes are expressed in bytes. Page sizes follow the paper's baseline
+(Section 3.1): the system natively supports 4KB, 64KB and 2MB pages, and
+CLAP additionally constructs intermediate "page-like" group sizes (128KB,
+256KB, 512KB, 1MB) out of contiguous 64KB pages (Section 4.5).
+"""
+
+from __future__ import annotations
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+#: The smallest architectural page (PTE granularity).
+PAGE_4K = 4 * KB
+
+#: CLAP's base page size (Section 4.2): matches the minimum migration
+#: granularity of commodity GPUs and provides near-4KB placement locality.
+PAGE_64K = 64 * KB
+
+#: The conventional GPU large page (cudaMalloc default backing).
+PAGE_2M = 2 * MB
+
+#: Page sizes natively supported by the baseline system (Table 1).
+NATIVE_PAGE_SIZES = (PAGE_4K, PAGE_64K, PAGE_2M)
+
+#: Full sweep of sizes studied in Figure 6: native sizes plus the
+#: hypothetical intermediate sizes between 64KB and 2MB.
+SWEEP_PAGE_SIZES = (
+    PAGE_4K,
+    PAGE_64K,
+    128 * KB,
+    256 * KB,
+    512 * KB,
+    1 * MB,
+    PAGE_2M,
+)
+
+#: Sizes CLAP can select: 64KB up to 2MB in power-of-two steps.  These are
+#: the levels of the MMA tree over a 2MB VA block (Section 4.4).
+CLAP_SELECTABLE_SIZES = (
+    PAGE_64K,
+    128 * KB,
+    256 * KB,
+    512 * KB,
+    1 * MB,
+    PAGE_2M,
+)
+
+#: VA/PF block granularity for block-based memory management (Section 4.1).
+BLOCK_SIZE = PAGE_2M
+
+#: Number of 64KB base pages per 2MB block.
+PAGES_PER_BLOCK = BLOCK_SIZE // PAGE_64K
+
+#: GPU cache line size; four 32B sectors (Section 4.6).
+CACHE_LINE = 128
+
+#: Bytes per page table entry.
+PTE_SIZE = 8
+
+#: PTEs per cache line — the coalescing window of a single L2-cache fetch
+#: (Section 4.6: sixteen 8-byte PTEs per 128B line).
+PTES_PER_LINE = CACHE_LINE // PTE_SIZE
+
+
+def is_pow2(value: int) -> bool:
+    """Return True when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def pages_in(size: int, page_size: int = PAGE_64K) -> int:
+    """Number of ``page_size`` pages needed to cover ``size`` bytes."""
+    if size < 0:
+        raise ValueError(f"size must be non-negative, got {size}")
+    return -(-size // page_size)
+
+
+def align_down(value: int, alignment: int) -> int:
+    """Round ``value`` down to a multiple of ``alignment`` (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return value & ~(alignment - 1)
+
+
+def align_up(value: int, alignment: int) -> int:
+    """Round ``value`` up to a multiple of ``alignment`` (a power of two)."""
+    if not is_pow2(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (value + alignment - 1) & ~(alignment - 1)
+
+
+def size_label(size: int) -> str:
+    """Human-readable label for a byte size (e.g. ``256KB``, ``2MB``)."""
+    if size >= GB and size % GB == 0:
+        return f"{size // GB}GB"
+    if size >= MB and size % MB == 0:
+        return f"{size // MB}MB"
+    if size >= KB and size % KB == 0:
+        return f"{size // KB}KB"
+    return f"{size}B"
+
+
+def parse_size(label: str) -> int:
+    """Parse a size label such as ``"64KB"`` or ``"2MB"`` back into bytes."""
+    text = label.strip().upper()
+    for suffix, factor in (("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)):
+        if text.endswith(suffix):
+            number = text[: -len(suffix)]
+            if not number:
+                break
+            return int(number) * factor
+    raise ValueError(f"unrecognised size label: {label!r}")

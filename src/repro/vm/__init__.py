@@ -1,0 +1,6 @@
+"""Virtual memory: allocations, VA blocks, page table, demand paging."""
+
+from .va_space import Allocation, VASpace
+from .page_table import MappingRecord, PageTable, Region
+
+__all__ = ["Allocation", "VASpace", "MappingRecord", "PageTable", "Region"]

@@ -1,0 +1,137 @@
+"""Memory oversubscription: evicting page groups to host memory (§4.7).
+
+When *all* chiplets' physical memory is exhausted (UVM oversubscription),
+CLAP "migrates page groups, whose size matches that of the group
+currently being mapped, to the host memory ... prioritizing those least
+recently mapped to the GPU".  Our block-based manager makes the clean
+unit of eviction a whole 2MB PF block: every frame in a PF block belongs
+to one pool (data structure), so evicting the block's resident pages
+frees a block the allocator can re-split for *any* pool and size.
+
+Evicted pages become *host-resident*: their next GPU touch refaults and
+pays a host-transfer penalty (charged by the timing model), mirroring
+NVIDIA UVM behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, TYPE_CHECKING
+
+from ..units import BLOCK_SIZE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .fault import DemandPager
+
+
+#: Host-fault service time in (trace-scaled) core cycles: a ~20us UVM
+#: far-fault at 1132 MHz, divided by the footprint scale factor of 16.
+HOST_FAULT_CYCLES = 1500
+
+
+@dataclass
+class EvictionStats:
+    blocks_evicted: int = 0
+    pages_evicted: int = 0
+    host_refaults: int = 0
+
+    def host_fault_cycles(self) -> int:
+        return self.host_refaults * HOST_FAULT_CYCLES
+
+
+class HostEvictionManager:
+    """LRU-block eviction to host memory for a capacity-limited GPU."""
+
+    def __init__(self, pager: "DemandPager") -> None:
+        self.pager = pager
+        self.stats = EvictionStats()
+        #: virtual page bases currently resident in host memory
+        self.host_resident: Set[int] = set()
+        #: physical block index -> monotonically increasing map time
+        self._block_last_map: Dict[int, int] = {}
+        self._clock = 0
+
+    # --- bookkeeping fed by the pager ---
+
+    def note_mapping(self, paddr: int) -> None:
+        """Record that a page was just mapped into ``paddr``'s block."""
+        self._clock += 1
+        self._block_last_map[paddr // BLOCK_SIZE] = self._clock
+
+    def consume_host_refault(self, vaddr: int, page_size: int) -> bool:
+        """True when this fault brings a page back from host memory."""
+        page_base = vaddr - (vaddr % page_size)
+        if page_base in self.host_resident:
+            self.host_resident.discard(page_base)
+            self.stats.host_refaults += 1
+            return True
+        return False
+
+    # --- eviction ---
+
+    def evict_one_block(self, chiplet: int) -> bool:
+        """Evict the least-recently-mapped PF block on ``chiplet``.
+
+        Unmaps every page whose frame lives in the block, marks them
+        host-resident, invalidates regions backed by the block, and
+        reclaims the block for reuse.  Returns False when the chiplet
+        owns no evictable block.
+        """
+        allocator = self.pager.allocator
+        page_table = self.pager.page_table
+        layout = allocator._layout
+        candidates = [
+            (time, index)
+            for index, time in self._block_last_map.items()
+            if layout.chiplet_of_block(index) == chiplet
+            and index in allocator._block_pool
+        ]
+        if not candidates:
+            return False
+        _, victim = min(candidates)
+        pool = allocator._block_pool[victim]
+        base = victim * BLOCK_SIZE
+        end = base + BLOCK_SIZE
+
+        # Unmap every resident page backed by the victim block.
+        evicted: List[int] = []
+        for table in list(self.pager.page_table._tables.values()):
+            for record in list(table.values()):
+                if base <= record.paddr < end:
+                    evicted.append(record.va_base)
+        for va_base in evicted:
+            page_table.unmap(va_base)
+            self.host_resident.add(va_base)
+        self.stats.pages_evicted += len(evicted)
+
+        # Invalidate reservations backed by the block: refaults must
+        # re-reserve, not map into a reclaimed frame.
+        for region_base, region in list(self.pager._regions.items()):
+            if base <= region.frame.paddr < end:
+                region.released = True
+                del self.pager._regions[region_base]
+
+        # Return the whole block to the allocator for any pool/size.
+        reclaimed = self._reclaim_block(victim, pool)
+        if reclaimed:
+            self.stats.blocks_evicted += 1
+            del self._block_last_map[victim]
+        return reclaimed
+
+    def _reclaim_block(self, index: int, pool: str) -> bool:
+        allocator = self.pager.allocator
+        if allocator._block_pool.get(index) != pool:
+            return False
+        del allocator._block_pool[index]
+        chiplet = allocator._layout.chiplet_of_block(index)
+        allocator._free_blocks[chiplet].append(index)
+        # Drop the pool's free frames that pointed into the block.
+        base = index * BLOCK_SIZE
+        end = base + BLOCK_SIZE
+        for key, frames in list(allocator._free.items()):
+            if key[2] != pool:
+                continue
+            allocator._free[key] = [
+                f for f in frames if not base <= f.paddr < end
+            ]
+        return True

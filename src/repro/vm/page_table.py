@@ -1,0 +1,318 @@
+"""The GPU page table: mappings, regions, reservation and promotion.
+
+MCM GPUs keep a *single* page table shared by all chiplets (Section 2.3),
+so one virtual page maps to exactly one physical location.  The table here
+stores :class:`MappingRecord` objects (the PTEs) keyed by VPN per page
+size.  Reserved PTE bits hold the allocation ID (Section 4.3); the chiplet
+ID is derivable from the PFN under NUMA-aware interleaving, and we cache
+it on the record.
+
+**Regions** model the paper's reservation-based paging (Figure 5 and
+Section 4.5): a physically contiguous frame is reserved for a virtually
+contiguous range, base pages are demand-mapped into matching offsets, and
+a fully populated 2MB region is promoted to a true 2MB page.  Regions
+smaller than 2MB stay as groups of base PTEs with deliberate
+virtual-to-physical contiguity — exactly what CLAP's TLB coalescing
+exploits (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..mem.frames import Frame
+from ..units import PAGE_2M, PAGE_64K, is_pow2, size_label
+
+
+@dataclass
+class Region:
+    """A reserved physically contiguous range backing a virtual range.
+
+    ``page_size`` is the base page granularity used to populate the
+    region; ``size`` is the full reservation (the *group* size CLAP
+    selected, or 2MB for OLP reservations).
+    """
+
+    va_base: int
+    size: int
+    frame: Frame
+    page_size: int
+    pool: str
+    mapped: int = 0
+    promoted: bool = False
+    released: bool = False
+
+    def __post_init__(self) -> None:
+        if self.va_base % self.page_size:
+            raise ValueError("region va_base must be page-size aligned")
+        if self.size != self.frame.size:
+            raise ValueError("region size must match the reserved frame")
+        if self.size % self.page_size:
+            raise ValueError("region size must be a multiple of page_size")
+
+    @property
+    def chiplet(self) -> int:
+        return self.frame.chiplet
+
+    @property
+    def capacity(self) -> int:
+        """Number of base pages the region can hold."""
+        return self.size // self.page_size
+
+    @property
+    def full(self) -> bool:
+        return self.mapped == self.capacity
+
+    def offset_of(self, vaddr: int) -> int:
+        offset = vaddr - self.va_base
+        if not 0 <= offset < self.size:
+            raise ValueError(f"{vaddr:#x} outside region at {self.va_base:#x}")
+        return offset
+
+
+@dataclass
+class MappingRecord:
+    """One PTE: a virtual page mapped to a physical frame.
+
+    ``page_size`` is the architectural translation size of this entry
+    (4KB/64KB base pages, or 2MB after promotion).  ``region`` links back
+    to the reservation the page belongs to, which tells the TLB how much
+    deliberate contiguity surrounds this page.
+    """
+
+    va_base: int
+    page_size: int
+    paddr: int
+    chiplet: int
+    alloc_id: int
+    region: Optional[Region] = None
+
+    def __post_init__(self) -> None:
+        if self.va_base % self.page_size:
+            raise ValueError("mapping va_base must be page-size aligned")
+        if self.paddr % self.page_size:
+            raise ValueError(
+                f"paddr {self.paddr:#x} not aligned to {size_label(self.page_size)}"
+            )
+
+    def paddr_of(self, vaddr: int) -> int:
+        """Translate ``vaddr`` (inside this page) to a physical address."""
+        offset = vaddr - self.va_base
+        if not 0 <= offset < self.page_size:
+            raise ValueError(f"{vaddr:#x} outside page at {self.va_base:#x}")
+        return self.paddr + offset
+
+    @property
+    def contiguity_base(self) -> int:
+        """Base vaddr of the deliberately contiguous group this page is in.
+
+        Pages mapped through a reservation keep their virtual-to-physical
+        offset even after the reservation is released (Section 4.6:
+        "the hardware [can] coalesce even partially contiguous PTEs"),
+        so a released region still anchors contiguity for the pages that
+        were mapped into it.
+        """
+        if self.region is not None:
+            return self.region.va_base
+        return self.va_base
+
+    @property
+    def contiguity_size(self) -> int:
+        """Size of the deliberately contiguous group this page is in."""
+        if self.region is not None:
+            return self.region.size
+        return self.page_size
+
+
+class PageFault(Exception):
+    """Raised when a lookup misses: the page is not resident on the GPU."""
+
+    def __init__(self, vaddr: int):
+        super().__init__(f"page fault at {vaddr:#x}")
+        self.vaddr = vaddr
+
+
+class PageTable:
+    """The unified GPU page table.
+
+    Mappings are stored per page size (``{page_size: {vpn: record}}``).
+    At most a handful of sizes coexist (4KB, 64KB, 2MB, plus one native
+    intermediate size in the Figure 6 sweeps), so lookup probes each size
+    class from largest to smallest.
+    """
+
+    def __init__(self) -> None:
+        self._tables: Dict[int, Dict[int, MappingRecord]] = {}
+        self._sizes_desc: List[int] = []
+        self.mapped_pages = 0
+        self.promotions = 0
+        self.demotions = 0
+
+    # --- mapping ---
+
+    def map_page(
+        self,
+        vaddr: int,
+        page_size: int,
+        frame: Frame,
+        alloc_id: int,
+        region: Optional[Region] = None,
+    ) -> MappingRecord:
+        """Install a PTE for the page at ``vaddr``.
+
+        ``frame`` must be exactly one page of ``page_size`` bytes.  Double
+        mapping a resident page raises — the unified page table forbids
+        duplicates (Section 2.3).
+        """
+        if not is_pow2(page_size):
+            raise ValueError("page_size must be a power of two")
+        if frame.size != page_size:
+            raise ValueError(
+                f"frame size {size_label(frame.size)} != page size "
+                f"{size_label(page_size)}"
+            )
+        va_base = vaddr - (vaddr % page_size)
+        table = self._table_for(page_size)
+        vpn = va_base // page_size
+        if vpn in table:
+            raise ValueError(f"page at {va_base:#x} is already mapped")
+        record = MappingRecord(
+            va_base=va_base,
+            page_size=page_size,
+            paddr=frame.paddr,
+            chiplet=frame.chiplet,
+            alloc_id=alloc_id,
+            region=region,
+        )
+        table[vpn] = record
+        self.mapped_pages += 1
+        if region is not None:
+            region.mapped += 1
+        return record
+
+    def unmap(self, vaddr: int) -> MappingRecord:
+        """Remove and return the PTE covering ``vaddr`` (migration path)."""
+        for size in self._sizes_desc:
+            table = self._tables[size]
+            record = table.get(vaddr // size)
+            if record is not None:
+                del table[vaddr // size]
+                self.mapped_pages -= 1
+                if record.region is not None:
+                    record.region.mapped -= 1
+                return record
+        raise PageFault(vaddr)
+
+    def lookup(self, vaddr: int) -> Optional[MappingRecord]:
+        """The PTE covering ``vaddr``, or None when non-resident."""
+        for size in self._sizes_desc:
+            record = self._tables[size].get(vaddr // size)
+            if record is not None:
+                return record
+        return None
+
+    def translate(self, vaddr: int) -> MappingRecord:
+        """Like :meth:`lookup` but raises :class:`PageFault` on a miss."""
+        record = self.lookup(vaddr)
+        if record is None:
+            raise PageFault(vaddr)
+        return record
+
+    # --- promotion (Figure 5) ---
+
+    def promote_region(self, region: Region) -> MappingRecord:
+        """Replace a fully populated region's base PTEs by one native PTE.
+
+        The caller (the demand pager) decides *which* sizes are natively
+        promotable: 2MB always is (Section 4.6); intermediate sizes only
+        exist as native pages in the hypothetical Figure 6 systems and
+        the C-NUMA+inter variant — under CLAP they stay as coalescable
+        base pages instead.
+        """
+        if region.size <= region.page_size:
+            raise ValueError("region is a single page; nothing to promote")
+        if not region.full:
+            raise ValueError("cannot promote a partially populated region")
+        if region.promoted:
+            raise ValueError("region already promoted")
+        base_table = self._tables.get(region.page_size, {})
+        alloc_id = -1
+        count = region.size // region.page_size
+        for i in range(count):
+            vpn = (region.va_base + i * region.page_size) // region.page_size
+            record = base_table.pop(vpn, None)
+            if record is None:
+                raise ValueError("region bookkeeping out of sync with table")
+            alloc_id = record.alloc_id
+            self.mapped_pages -= 1
+        promoted = MappingRecord(
+            va_base=region.va_base,
+            page_size=region.size,
+            paddr=region.frame.paddr,
+            chiplet=region.frame.chiplet,
+            alloc_id=alloc_id,
+            region=region,
+        )
+        self._table_for(region.size)[region.va_base // region.size] = promoted
+        self.mapped_pages += 1
+        region.promoted = True
+        self.promotions += 1
+        return promoted
+
+    def demote_region(self, region: Region) -> None:
+        """Split a promoted native page back into base PTEs (C-NUMA split).
+
+        The physical frames do not move: base pages are re-installed at
+        their original offsets inside the region's reserved frame, so the
+        split itself is a pure page-table operation (migrations of the
+        now-independent base pages are a separate step).
+        """
+        if not region.promoted:
+            raise ValueError("region is not promoted")
+        table = self._tables.get(region.size, {})
+        promoted = table.pop(region.va_base // region.size, None)
+        if promoted is None:
+            raise ValueError("promoted PTE missing; bookkeeping out of sync")
+        self.mapped_pages -= 1
+        region.promoted = False
+        region.mapped = 0
+        count = region.size // region.page_size
+        for i in range(count):
+            offset = i * region.page_size
+            self.map_page(
+                region.va_base + offset,
+                region.page_size,
+                region.frame.subframe(offset, region.page_size),
+                promoted.alloc_id,
+                region=region,
+            )
+        self.demotions += 1
+
+    # --- inspection ---
+
+    def mappings_in_range(
+        self, base: int, size: int
+    ) -> Iterator[MappingRecord]:
+        """Yield resident PTEs whose pages start inside ``[base, base+size)``."""
+        end = base + size
+        for page_size in self._sizes_desc:
+            for vpn, record in self._tables[page_size].items():
+                if base <= record.va_base < end:
+                    yield record
+
+    def resident_bytes(self) -> int:
+        return sum(
+            size * len(table) for size, table in self._tables.items()
+        )
+
+    def page_sizes_in_use(self) -> Tuple[int, ...]:
+        return tuple(s for s in self._sizes_desc if self._tables[s])
+
+    def _table_for(self, page_size: int) -> Dict[int, MappingRecord]:
+        table = self._tables.get(page_size)
+        if table is None:
+            table = {}
+            self._tables[page_size] = table
+            self._sizes_desc = sorted(self._tables, reverse=True)
+        return table

@@ -1,0 +1,154 @@
+"""Virtual address space and GPU data structures (allocations).
+
+A *data structure* in the paper is one GPU memory allocation (a
+``cudaMalloc``/``cudaMallocManaged`` call).  The driver assigns each
+allocation an **allocation ID** that is stored in reserved PTE bits and
+used by the Remote Tracker (Section 4.3).
+
+The VA space is carved into 2MB **VA blocks** (Section 4.1).  A VA block
+is the boundary for page-size assignment: all mappings inside one block
+use the block's assigned size.  Allocations are 2MB-aligned so VA blocks
+never span two allocations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from ..units import BLOCK_SIZE, align_up, size_label
+
+
+@dataclass
+class Allocation:
+    """One GPU data structure (a device memory allocation).
+
+    Attributes
+    ----------
+    alloc_id:
+        Driver-assigned ID, stored in reserved PTE bits (8-bit baseline).
+    name:
+        Human-readable label (e.g. ``"matrix_B"``).
+    base:
+        Starting virtual address (2MB-aligned).
+    size:
+        Requested size in bytes.
+    """
+
+    alloc_id: int
+    name: str
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.base % BLOCK_SIZE:
+            raise ValueError("allocation base must be 2MB-aligned")
+        if self.size <= 0:
+            raise ValueError("allocation size must be positive")
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    @property
+    def num_blocks(self) -> int:
+        """Number of 2MB VA blocks the allocation spans (last may be partial)."""
+        return -(-self.size // BLOCK_SIZE)
+
+    def contains(self, vaddr: int) -> bool:
+        return self.base <= vaddr < self.end
+
+    def block_index(self, vaddr: int) -> int:
+        """VA-block ordinal (0-based within this allocation) of ``vaddr``."""
+        if not self.contains(vaddr):
+            raise ValueError(
+                f"{vaddr:#x} outside allocation {self.name} "
+                f"[{self.base:#x}, {self.end:#x})"
+            )
+        return (vaddr - self.base) // BLOCK_SIZE
+
+    def block_base(self, index: int) -> int:
+        """Virtual base address of the allocation's ``index``-th VA block."""
+        if not 0 <= index < self.num_blocks:
+            raise ValueError(f"block index {index} out of range")
+        return self.base + index * BLOCK_SIZE
+
+    def block_size(self, index: int) -> int:
+        """Byte size of the ``index``-th VA block (last block may be short)."""
+        return min(BLOCK_SIZE, self.end - self.block_base(index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Allocation({self.alloc_id}, {self.name!r}, "
+            f"base={self.base:#x}, size={size_label(self.size)})"
+        )
+
+
+class VASpace:
+    """Allocator of 2MB-aligned virtual ranges plus the allocation registry."""
+
+    #: Gap left between allocations so off-by-one bugs fault loudly.
+    GUARD = BLOCK_SIZE
+
+    def __init__(self, base: int = 0x10_0000_0000) -> None:
+        self._next = align_up(base, BLOCK_SIZE)
+        self._allocations: List[Allocation] = []
+        self._by_id: Dict[int, Allocation] = {}
+        #: assigned page size per global VA-block index (Section 4.1)
+        self._block_page_size: Dict[int, int] = {}
+
+    def allocate(self, name: str, size: int) -> Allocation:
+        """Create a new data structure of ``size`` bytes."""
+        alloc_id = len(self._allocations)
+        allocation = Allocation(alloc_id, name, self._next, size)
+        self._allocations.append(allocation)
+        self._by_id[alloc_id] = allocation
+        self._next = align_up(allocation.end, BLOCK_SIZE) + self.GUARD
+        return allocation
+
+    @property
+    def allocations(self) -> List[Allocation]:
+        return list(self._allocations)
+
+    def by_id(self, alloc_id: int) -> Allocation:
+        return self._by_id[alloc_id]
+
+    def find(self, vaddr: int) -> Optional[Allocation]:
+        """The allocation containing ``vaddr``, or None."""
+        for allocation in self._allocations:
+            if allocation.contains(vaddr):
+                return allocation
+        return None
+
+    def __iter__(self) -> Iterator[Allocation]:
+        return iter(self._allocations)
+
+    def __len__(self) -> int:
+        return len(self._allocations)
+
+    # --- VA block page-size assignment (Section 4.1) ---
+
+    @staticmethod
+    def global_block_index(vaddr: int) -> int:
+        return vaddr // BLOCK_SIZE
+
+    def assign_block_page_size(self, vaddr: int, page_size: int) -> None:
+        """Pin the page size of the VA block containing ``vaddr``.
+
+        Re-assigning a different size to an already-pinned block is a
+        driver bug (mappings of mixed sizes inside one block would defeat
+        block-based tracking), so it raises.
+        """
+        index = self.global_block_index(vaddr)
+        current = self._block_page_size.get(index)
+        if current is not None and current != page_size:
+            raise ValueError(
+                f"VA block {index} already assigned "
+                f"{size_label(current)}, cannot switch to "
+                f"{size_label(page_size)}"
+            )
+        self._block_page_size[index] = page_size
+
+    def block_page_size(self, vaddr: int) -> Optional[int]:
+        """The page size assigned to ``vaddr``'s VA block, if any."""
+        return self._block_page_size.get(self.global_block_index(vaddr))

@@ -1,0 +1,65 @@
+"""Shared test fixtures: small synthetic workloads and run helpers."""
+
+import pytest
+
+from repro.sim.engine import run_simulation
+from repro.trace.workload import (
+    Pattern,
+    Scan,
+    StructureSpec,
+    WorkloadSpec,
+)
+from repro.units import MB
+
+
+def make_spec(*structures, abbr="TST", tb_count=64, mem_fraction=0.3,
+              kernels=()):
+    return WorkloadSpec(
+        abbr=abbr,
+        title="synthetic test workload",
+        structures=tuple(structures),
+        tb_count=tb_count,
+        mem_fraction=mem_fraction,
+        kernels=kernels,
+    )
+
+
+def partitioned(name="part", size=16 * MB, group=4, **kw):
+    """A structure with fine chiplet-locality (group runs of 64KB pages)."""
+    return StructureSpec(
+        name, size, size, Pattern.PARTITIONED, group_pages=group, **kw
+    )
+
+
+def contiguous(name="cont", size=48 * MB, **kw):
+    """A structure with coarse chiplet-locality (per-chiplet slabs)."""
+    return StructureSpec(name, size, size, Pattern.CONTIGUOUS, **kw)
+
+
+def shared(name="shared", size=12 * MB, **kw):
+    """A globally shared structure (matrix B)."""
+    return StructureSpec(name, size, size, Pattern.SHARED, **kw)
+
+
+def strided(name="strided", size=48 * MB, **kw):
+    """Tiled scan: VA blocks fill late (defeats PMM analysis)."""
+    return StructureSpec(
+        name, size, size, Pattern.CONTIGUOUS, scan=Scan.BLOCK_STRIDED, **kw
+    )
+
+
+def run(spec, policy, **kwargs):
+    return run_simulation(spec, policy, **kwargs)
+
+
+@pytest.fixture
+def small_partitioned_spec():
+    return make_spec(partitioned(size=16 * MB, waves=3, lines_per_touch=6))
+
+
+@pytest.fixture
+def mixed_spec():
+    return make_spec(
+        partitioned(size=16 * MB, waves=2, lines_per_touch=4),
+        shared(size=12 * MB, waves=2, lines_per_touch=4),
+    )

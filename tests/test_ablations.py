@@ -1,0 +1,43 @@
+"""Quick-mode tests for the ablation experiments."""
+
+import pytest
+
+from repro import ClapPolicy, run_workload
+from repro.experiments import ablations
+from repro.units import PAGE_2M, PAGE_64K
+
+
+class TestRemoteTrackerAblation:
+    def test_shared_matrix_selection_flips_without_rt(self):
+        with_rt = run_workload("GPT3", ClapPolicy())
+        without = run_workload("GPT3", ClapPolicy(use_remote_tracker=False))
+        assert with_rt.selections["matrix_B"].page_size == PAGE_2M
+        assert without.selections["matrix_B"].page_size == PAGE_64K
+        assert without.performance < with_rt.performance
+
+    def test_experiment_runs_quick(self):
+        result = ablations.run_remote_tracker(quick=True)
+        assert result.summary["gmean_no_rt_vs_clap"] < 1.0
+
+
+class TestCoalescingAblation:
+    def test_intermediate_sizes_need_coalescing(self):
+        with_c = run_workload("STE", ClapPolicy())
+        without = run_workload("STE", ClapPolicy(use_coalescing=False))
+        # Same selection, same placement, worse translation.
+        assert (
+            without.selections["grid_in"].page_size
+            == with_c.selections["grid_in"].page_size
+        )
+        assert without.l2_tlb_mpki > with_c.l2_tlb_mpki
+        assert without.performance < with_c.performance
+
+    def test_experiment_runs_quick(self):
+        result = ablations.run_coalescing(quick=True)
+        assert result.summary["gmean_no_coalescing_vs_clap"] < 1.0
+
+
+class TestPmmThresholdAblation:
+    def test_insensitivity(self):
+        result = ablations.run_pmm_threshold(quick=True)
+        assert result.summary["gmean_30pct_vs_20pct"] > 0.9

@@ -1,0 +1,84 @@
+"""Tests for the physical address layout and interleaving (Figure 4)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.address import FINE_INTERLEAVE, AddressLayout, InterleavePolicy
+from repro.units import BLOCK_SIZE
+
+
+@pytest.fixture
+def layout():
+    return AddressLayout(num_chiplets=4)
+
+
+class TestNumaAware:
+    def test_block_ownership_round_robins(self, layout):
+        assert [layout.chiplet_of_block(i) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_whole_block_belongs_to_one_chiplet(self, layout):
+        base = 5 * BLOCK_SIZE  # block 5 -> chiplet 1
+        for offset in (0, 4096, BLOCK_SIZE - 256):
+            assert layout.chiplet_of_paddr(base + offset) == 1
+
+    def test_block_for_chiplet_inverts_ownership(self, layout):
+        for chiplet in range(4):
+            for sequence in range(5):
+                block = layout.block_for_chiplet(chiplet, sequence)
+                assert layout.chiplet_of_block(block) == chiplet
+
+    def test_channels_interleave_inside_chiplet(self, layout):
+        base = 4 * BLOCK_SIZE  # chiplet 0
+        channels = {
+            layout.channel_of_paddr(base + i * FINE_INTERLEAVE)
+            for i in range(layout.channels_per_chiplet)
+        }
+        # All 16 channels of chiplet 0, and only those.
+        assert channels == set(range(16))
+
+    @given(st.integers(min_value=0, max_value=1 << 40))
+    def test_channel_belongs_to_owning_chiplet(self, paddr):
+        layout = AddressLayout(num_chiplets=4)
+        chiplet = layout.chiplet_of_paddr(paddr)
+        channel = layout.channel_of_paddr(paddr)
+        assert channel // layout.channels_per_chiplet == chiplet
+
+
+class TestNaive:
+    def test_fine_interleave_scatters_within_a_block(self):
+        layout = AddressLayout(num_chiplets=4, policy=InterleavePolicy.NAIVE)
+        chiplets = {
+            layout.chiplet_of_paddr(i * FINE_INTERLEAVE) for i in range(4)
+        }
+        assert chiplets == {0, 1, 2, 3}
+
+    def test_naive_defeats_page_placement(self):
+        """A 64KB page spans all chiplets under naive interleaving."""
+        layout = AddressLayout(num_chiplets=4, policy=InterleavePolicy.NAIVE)
+        seen = {
+            layout.chiplet_of_paddr(offset)
+            for offset in range(0, 65536, FINE_INTERLEAVE)
+        }
+        assert seen == {0, 1, 2, 3}
+
+
+class TestValidation:
+    def test_rejects_non_pow2(self):
+        with pytest.raises(ValueError):
+            AddressLayout(num_chiplets=3)
+        with pytest.raises(ValueError):
+            AddressLayout(num_chiplets=4, channels_per_chiplet=3)
+
+    def test_rejects_negative_addresses(self, layout):
+        with pytest.raises(ValueError):
+            layout.chiplet_of_paddr(-1)
+        with pytest.raises(ValueError):
+            layout.chiplet_of_block(-1)
+        with pytest.raises(ValueError):
+            layout.block_for_chiplet(9, 0)
+
+    def test_total_channels(self, layout):
+        assert layout.total_channels == 64

@@ -1,0 +1,108 @@
+"""Tests for the data caches and remote-caching schemes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.remote_cache import (
+    NubaCache,
+    SacCache,
+    make_remote_cache,
+)
+from repro.config import baseline_config
+
+
+class TestSetAssociativeCache:
+    def test_miss_then_hit(self):
+        cache = SetAssociativeCache(16 * 128, ways=4)
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(64)  # same 128B line
+        assert cache.hits == 2
+
+    def test_lru_within_set(self):
+        cache = SetAssociativeCache(2 * 128, ways=2)
+        # Two-entry fully-mapped cache: fill, refresh, insert third.
+        cache.access(0)
+        cache.access(128 * 1000)
+        cache.access(0)
+        cache.access(128 * 2000)  # evicts the LRU line
+        assert cache.access(0)
+        assert not cache.probe(128 * 1000)
+
+    def test_probe_does_not_fill(self):
+        cache = SetAssociativeCache(16 * 128)
+        assert not cache.probe(0)
+        assert not cache.access(0)  # still a miss: probe didn't fill
+
+    def test_invalidate_range_small(self):
+        cache = SetAssociativeCache(64 * 128)
+        cache.access(0)
+        cache.access(128)
+        cache.access(4096)
+        assert cache.invalidate_range(0, 256) == 2
+        assert not cache.probe(0)
+        assert cache.probe(4096)
+
+    def test_invalidate_range_large_scan_path(self):
+        cache = SetAssociativeCache(16 * 128)
+        for i in range(8):
+            cache.access(i * 128)
+        dropped = cache.invalidate_range(0, 64 * 1024 * 1024)
+        assert dropped == 8
+        assert cache.probe(0) is False
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(1024, line_size=100)
+
+    def test_hit_rate_and_reset(self):
+        cache = SetAssociativeCache(16 * 128)
+        cache.access(0)
+        cache.access(0)
+        assert cache.hit_rate == 0.5
+        cache.reset_stats()
+        assert cache.accesses == 0
+
+    @given(
+        lines=st.lists(st.integers(0, 1000), min_size=1, max_size=300)
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_property_occupancy_bounded(self, lines):
+        cache = SetAssociativeCache(32 * 128, ways=4)
+        for line in lines:
+            cache.access(line * 128)
+        resident = sum(len(s) for s in cache._sets)
+        assert resident <= cache.capacity_lines
+
+
+class TestRemoteCaches:
+    def test_nuba_inserts_everything(self):
+        cache = NubaCache(baseline_config())
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.coverage == 0.5
+
+    def test_sac_requires_reuse_before_inserting(self):
+        cache = SacCache(baseline_config())
+        assert not cache.access(0)   # first touch: filtered, not inserted
+        assert not cache.access(0)   # second touch: inserted now
+        assert cache.access(0)       # third touch: hit
+
+    def test_sac_smaller_than_nuba(self):
+        cfg = baseline_config()
+        assert (
+            SacCache(cfg).cache.capacity_lines
+            < NubaCache(cfg).cache.capacity_lines
+        )
+
+    def test_factory(self):
+        cfg = baseline_config()
+        assert make_remote_cache(None, cfg) is None
+        assert isinstance(make_remote_cache("nuba", cfg), NubaCache)
+        assert isinstance(make_remote_cache("SAC", cfg), SacCache)
+        with pytest.raises(ValueError):
+            make_remote_cache("bogus", cfg)

@@ -1,0 +1,73 @@
+"""Tests for CLAP's 4KB-base-page mode (Section 4.7 scalability)."""
+
+import pytest
+
+from repro.core.clap import AllocationPhase, ClapPolicy
+from repro.trace.workload import Pattern, StructureSpec, WorkloadSpec
+from repro.units import KB, MB, PAGE_2M, PAGE_4K, PAGE_64K
+
+from .conftest import make_spec, run
+
+
+def dense_partitioned(group_pages=4, size=12 * MB):
+    """A structure dense enough that every 4KB sub-page gets touched
+    (48 lines per 64KB page -> 16 distinct 4KB clusters) and large
+    enough that a 2MB block fills before the 20% PMM threshold."""
+    return StructureSpec(
+        "dense", size, size, Pattern.PARTITIONED, group_pages=group_pages,
+        waves=2, lines_per_touch=48,
+    )
+
+
+class TestConstruction:
+    def test_valid_bases(self):
+        ClapPolicy(base_page_size=PAGE_4K)
+        ClapPolicy(base_page_size=PAGE_64K)
+        with pytest.raises(ValueError):
+            ClapPolicy(base_page_size=128 * KB)
+
+    def test_native_sizes_follow_base(self):
+        assert ClapPolicy(base_page_size=PAGE_4K).native_sizes() == {
+            PAGE_4K, PAGE_64K, PAGE_2M,
+        }
+        assert ClapPolicy(base_page_size=PAGE_64K).native_sizes() == {
+            PAGE_64K, PAGE_2M,
+        }
+
+
+class TestFineGrainedSelection:
+    def test_4kb_base_reaches_the_same_group_size(self):
+        """64KB-granularity locality (group_pages=1 at 64KB = sixteen 4KB
+        pages) is found by the deeper tree: selection lands at 64KB."""
+        spec = make_spec(dense_partitioned(group_pages=1))
+        policy = ClapPolicy(base_page_size=PAGE_4K)
+        result = run(spec, policy)
+        assert result.selections["dense"].page_size == PAGE_64K
+        assert policy.allocation_phase(0) is AllocationPhase.APPLIED
+
+    def test_4kb_base_finds_256kb_groups(self):
+        spec = make_spec(dense_partitioned(group_pages=4))
+        result = run(spec, ClapPolicy(base_page_size=PAGE_4K))
+        assert result.selections["dense"].page_size == 256 * KB
+
+    def test_placement_locality_preserved(self):
+        spec = make_spec(dense_partitioned(group_pages=4))
+        result = run(spec, ClapPolicy(base_page_size=PAGE_4K))
+        assert result.remote_ratio < 0.02
+
+    def test_matches_64kb_base_selection_on_coarse_groups(self):
+        """Both base sizes must agree on the selected group size when the
+        locality granularity is coarse enough for both to see it."""
+        spec = make_spec(dense_partitioned(group_pages=4))
+        fine = run(spec, ClapPolicy(base_page_size=PAGE_4K))
+        coarse = run(spec, ClapPolicy(base_page_size=PAGE_64K))
+        assert (
+            fine.selections["dense"].page_size
+            == coarse.selections["dense"].page_size
+        )
+
+    def test_4kb_base_pays_more_faults(self):
+        spec = make_spec(dense_partitioned(group_pages=4))
+        fine = run(spec, ClapPolicy(base_page_size=PAGE_4K))
+        coarse = run(spec, ClapPolicy(base_page_size=PAGE_64K))
+        assert fine.page_faults > coarse.page_faults

@@ -1,0 +1,87 @@
+"""Tests for CLAP-SA and CLAP-SA++ (Section 5.2)."""
+
+import pytest
+
+from repro.core.clap_sa import ClapSaPlusPolicy, ClapSaPolicy
+from repro.policies import SaStaticPolicy
+from repro.units import KB, MB, PAGE_2M, PAGE_64K
+
+from .conftest import contiguous, make_spec, partitioned, run, shared
+
+
+def irregular(name="irr", size=16 * MB, **kw):
+    kw.setdefault("noise", 0.25)
+    kw.setdefault("sa_predictable", False)
+    return contiguous(name, size, **kw)
+
+
+class TestClapSa:
+    def test_predictable_structure_gets_tree_selected_size(self):
+        spec = make_spec(partitioned(size=16 * MB, group=4))
+        policy = ClapSaPolicy()
+        result = run(spec, policy)
+        assert result.selections["part"].page_size == 256 * KB
+        assert result.remote_ratio < 0.02
+
+    def test_shared_structure_statically_assigned_2mb(self):
+        spec = make_spec(shared(size=12 * MB, waves=2, lines_per_touch=4))
+        result = run(spec, ClapSaPolicy())
+        assert result.selections["shared"].page_size == PAGE_2M
+
+    def test_sizes_known_before_any_fault(self):
+        """No profiling phase: the size is decided at attach time."""
+        spec = make_spec(partitioned(size=16 * MB, group=4))
+        policy = ClapSaPolicy()
+        from repro.sim.machine import Machine
+        from repro.config import baseline_config
+        from repro.trace.workload import Workload
+
+        machine = Machine(baseline_config())
+        workload = Workload(spec, 4, va_space=machine.va_space)
+        policy.attach(machine, workload)
+        allocation = workload.allocations["part"]
+        assert policy.selected_size(allocation) == 256 * KB
+
+    def test_unpredictable_structure_mispredicted_large(self):
+        """Static analysis sees a uniform block guess -> picks 2MB at the
+        wrong owners -> high remote (the CLAP-SA limitation)."""
+        spec = make_spec(irregular(size=16 * MB, waves=2, lines_per_touch=4))
+        policy = ClapSaPolicy()
+        result = run(spec, policy)
+        assert result.selections["irr"].page_size == PAGE_2M
+        assert result.remote_ratio > 0.4
+
+    def test_beats_sa_static_on_group_workload(self):
+        spec = make_spec(partitioned(size=16 * MB, group=4))
+        clap_sa = run(spec, ClapSaPolicy())
+        sa64 = run(spec, SaStaticPolicy(PAGE_64K))
+        sa2m = run(spec, SaStaticPolicy(PAGE_2M))
+        assert clap_sa.performance > sa64.performance
+        assert clap_sa.performance > sa2m.performance
+
+
+class TestClapSaPlus:
+    def test_irregular_structures_handed_to_runtime_profiling(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=2, lines_per_touch=4),
+            irregular(size=48 * MB, waves=2, lines_per_touch=4),
+        )
+        policy = ClapSaPlusPolicy()
+        result = run(spec, policy)
+        # The predictable structure stays static (256KB); the irregular
+        # one goes through runtime CLAP and lands correctly.
+        assert result.selections["part"].page_size == 256 * KB
+        assert policy._runtime_ids == {1}
+
+    def test_plus_cuts_remote_ratio_vs_plain_clap_sa(self):
+        spec = make_spec(irregular(size=48 * MB, waves=2, lines_per_touch=4))
+        plain = run(spec, ClapSaPolicy())
+        plus = run(spec, ClapSaPlusPolicy())
+        assert plus.remote_ratio < plain.remote_ratio
+        assert plus.performance > plain.performance
+
+    def test_shared_structures_stay_static(self):
+        spec = make_spec(shared(size=12 * MB, waves=2, lines_per_touch=4))
+        policy = ClapSaPlusPolicy()
+        run(spec, policy)
+        assert policy._runtime_ids == set()

@@ -1,0 +1,84 @@
+"""Tests for the GPU configuration (Table 1) and its scaling."""
+
+import pytest
+
+from repro.config import GPUConfig, baseline_config, eight_chiplet_config
+from repro.units import PAGE_2M, PAGE_4K, PAGE_64K
+
+
+class TestBaseline:
+    def test_matches_table1(self):
+        cfg = baseline_config()
+        assert cfg.num_chiplets == 4
+        assert cfg.sms_per_chiplet == 64
+        assert cfg.total_sms == 256
+        assert cfg.clock_mhz == 1132
+        assert cfg.l2_cache_bytes == 4 * 1024 * 1024
+        assert cfg.l1_tlb.entries == {PAGE_4K: 32, PAGE_64K: 16, PAGE_2M: 8}
+        assert cfg.l2_tlb.entries == {
+            PAGE_4K: 1024,
+            PAGE_64K: 512,
+            PAGE_2M: 256,
+        }
+        assert cfg.page_walkers == 16
+        assert cfg.remote_tracker_entries == 32
+        assert cfg.pmm_threshold == 0.20
+
+    def test_eight_chiplet_variant(self):
+        cfg = eight_chiplet_config()
+        assert cfg.num_chiplets == 8
+        assert cfg.total_sms == 512
+
+    def test_hop_cycles_from_32ns(self):
+        cfg = baseline_config()
+        # 32 ns at 1132 MHz = ~36 cycles
+        assert cfg.hop_cycles == 36
+
+
+class TestScaling:
+    def test_l2_cache_scaled_by_footprint_factor(self):
+        cfg = baseline_config()
+        assert cfg.scaled_l2_cache_bytes == cfg.l2_cache_bytes // cfg.scale
+
+    def test_scaled_tlb_preserves_reach_ratio(self):
+        cfg = baseline_config()
+        full_reach = cfg.l2_tlb.entries[PAGE_64K] * PAGE_64K
+        scaled_reach = cfg.scaled_l2_tlb_entries(PAGE_64K) * PAGE_64K
+        assert scaled_reach == full_reach // cfg.scale
+
+    def test_intermediate_sizes_use_64kb_class(self):
+        cfg = baseline_config()
+        assert cfg.l2_tlb.entries_for(256 * 1024) == 512
+        assert cfg.scaled_l1_tlb_entries(128 * 1024) == (
+            cfg.scaled_l1_tlb_entries(PAGE_64K)
+        )
+
+    def test_scaled_entries_have_floor(self):
+        cfg = GPUConfig(scale=100000)
+        assert cfg.scaled_l2_tlb_entries(PAGE_64K) >= 4
+        assert cfg.scaled_l1_tlb_entries(PAGE_64K) >= 4
+
+
+class TestValidation:
+    def test_rejects_non_pow2_chiplets(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_chiplets=3)
+
+    def test_rejects_zero_chiplets(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_chiplets=0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(ValueError):
+            GPUConfig(scale=0)
+
+    def test_rejects_bad_pmm_threshold(self):
+        with pytest.raises(ValueError):
+            GPUConfig(pmm_threshold=0.0)
+        with pytest.raises(ValueError):
+            GPUConfig(pmm_threshold=1.5)
+
+    def test_with_chiplets_copy(self):
+        cfg = baseline_config().with_chiplets(8)
+        assert cfg.num_chiplets == 8
+        assert baseline_config().num_chiplets == 4

@@ -1,0 +1,66 @@
+"""Tests for the HBM2 channel timing model."""
+
+import pytest
+
+from repro.mem.dram import ROW_SIZE, DramChannelModel
+
+
+@pytest.fixture
+def dram():
+    return DramChannelModel(num_channels=4)
+
+
+class TestRowBuffer:
+    def test_first_access_misses(self, dram):
+        assert dram.access(0, 0) == dram.row_miss_cycles
+
+    def test_same_row_hits(self, dram):
+        dram.access(0, 0)
+        assert dram.access(0, 128) == dram.row_hit_cycles
+
+    def test_row_conflict_misses(self, dram):
+        dram.access(0, 0)
+        assert dram.access(0, ROW_SIZE) == dram.row_miss_cycles
+
+    def test_channels_have_independent_rows(self, dram):
+        dram.access(0, 0)
+        assert dram.access(1, 128) == dram.row_miss_cycles
+
+    def test_hit_is_cheaper(self, dram):
+        assert dram.row_hit_cycles < dram.row_miss_cycles
+
+
+class TestTiming:
+    def test_cycle_conversion(self, dram):
+        # tCL=14 DRAM clocks at 877MHz -> 14 * 1132/877 = ~18 core cycles
+        assert dram.row_hit_cycles == 18
+        assert dram.row_miss_cycles == 54
+
+
+class TestStats:
+    def test_hit_rate(self, dram):
+        dram.access(0, 0)
+        dram.access(0, 128)
+        dram.access(0, 256)
+        assert dram.row_hit_rate == pytest.approx(2 / 3)
+
+    def test_channel_accounting(self, dram):
+        dram.access(2, 0)
+        dram.access(2, 128)
+        assert dram.channel_accesses == [0, 0, 2, 0]
+
+    def test_reset(self, dram):
+        dram.access(0, 0)
+        dram.reset_stats()
+        assert dram.accesses == 0
+        assert dram.row_hit_rate == 0.0
+        # open-row tracker cleared too
+        assert dram.access(0, 0) == dram.row_miss_cycles
+
+    def test_bad_channel_rejected(self, dram):
+        with pytest.raises(ValueError):
+            dram.access(4, 0)
+
+    def test_bad_channel_count_rejected(self):
+        with pytest.raises(ValueError):
+            DramChannelModel(num_channels=0)

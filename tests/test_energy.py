@@ -1,0 +1,74 @@
+"""Tests for the memory-system energy model."""
+
+import pytest
+
+from repro.policies import StaticPaging
+from repro.core.clap import ClapPolicy
+from repro.sim.energy import EnergyBreakdown, EnergyParams, energy_report
+from repro.sim.machine import Machine
+from repro.config import baseline_config
+from repro.units import MB, PAGE_2M, PAGE_64K
+
+from .conftest import make_spec, partitioned, run
+
+
+class TestBreakdown:
+    def test_total_and_share(self):
+        breakdown = EnergyBreakdown(
+            l1=10.0, l2=20.0, dram=30.0, ring=40.0, translation=0.0
+        )
+        assert breakdown.total == 100.0
+        assert breakdown.ring_share == pytest.approx(0.4)
+
+    def test_scaled(self):
+        breakdown = EnergyBreakdown(1.0, 2.0, 3.0, 4.0, 5.0)
+        doubled = breakdown.scaled(2.0)
+        assert doubled.total == pytest.approx(2 * breakdown.total)
+
+    def test_empty_machine_zero_energy(self):
+        machine = Machine(baseline_config())
+        assert energy_report(machine).total == 0.0
+
+
+class TestEnergyShapes:
+    def test_misplacement_costs_ring_and_dram_energy(self):
+        """The paper's motivation: remote accesses burn interconnect
+        energy.  Misplaced 2MB pages must show it."""
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=3, lines_per_touch=6)
+        )
+        local = run(spec, StaticPaging(PAGE_64K))
+        misplaced = run(spec, StaticPaging(PAGE_2M))
+        assert local.energy.ring == 0.0
+        assert misplaced.energy.ring > 0.0
+        assert misplaced.energy.total > local.energy.total
+        assert misplaced.energy.ring_share > 0.1
+
+    def test_clap_eliminates_the_ring_component(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=3, lines_per_touch=6)
+        )
+        clap = run(spec, ClapPolicy())
+        misplaced = run(spec, StaticPaging(PAGE_2M))
+        assert clap.energy.ring < 0.05 * misplaced.energy.ring
+        assert clap.energy.total < misplaced.energy.total
+
+    def test_translation_energy_falls_with_larger_pages(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=3, lines_per_touch=6)
+        )
+        small = run(spec, StaticPaging(PAGE_64K))
+        clap = run(spec, ClapPolicy())
+        assert clap.energy.translation < small.energy.translation
+
+    def test_custom_params(self):
+        spec = make_spec(
+            partitioned(size=8 * MB, waves=2, lines_per_touch=4)
+        )
+        result = run(spec, StaticPaging(PAGE_64K))
+        machine_energy = result.energy
+        assert machine_energy.l1 > 0
+        # doubling every constant doubles the total
+        assert machine_energy.scaled(2.0).total == pytest.approx(
+            2 * machine_energy.total
+        )

@@ -1,0 +1,173 @@
+"""Tests for the demand pager: reservations, releases, migration."""
+
+import pytest
+
+from repro.arch.address import AddressLayout
+from repro.mem.frames import ChipletMemoryExhausted, FrameAllocator
+from repro.units import MB, PAGE_2M, PAGE_64K
+from repro.vm.fault import DemandPager
+from repro.vm.page_table import PageTable
+from repro.vm.va_space import VASpace
+
+
+@pytest.fixture
+def pager():
+    layout = AddressLayout(num_chiplets=4)
+    return DemandPager(PageTable(), FrameAllocator(layout), VASpace())
+
+
+@pytest.fixture
+def alloc(pager):
+    return pager.va_space.allocate("data", 8 * MB)
+
+
+class TestRegions:
+    def test_ensure_region_reserves_once(self, pager, alloc):
+        r1 = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 1, "p")
+        r2 = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 3, "p")
+        assert r1 is r2
+        assert r1.chiplet == 1  # first reservation wins
+
+    def test_map_into_region_uses_matching_offsets(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        record = pager.map_into_region(
+            alloc.base + 5 * PAGE_64K + 7, region, alloc.alloc_id
+        )
+        assert record.paddr == region.frame.paddr + 5 * PAGE_64K
+        assert record.region is region
+
+    def test_full_2mb_region_promotes(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        for i in range(32):
+            record = pager.map_into_region(
+                alloc.base + i * PAGE_64K, region, alloc.alloc_id
+            )
+        assert record.page_size == PAGE_2M
+        assert region.promoted
+
+    def test_intermediate_region_does_not_promote_by_default(
+        self, pager, alloc
+    ):
+        """256KB is not native in the baseline: stays coalescable pages."""
+        region = pager.ensure_region(alloc.base, 256 * 1024, PAGE_64K, 0, "p")
+        for i in range(4):
+            record = pager.map_into_region(
+                alloc.base + i * PAGE_64K, region, alloc.alloc_id
+            )
+        assert record.page_size == PAGE_64K
+        assert not region.promoted
+
+    def test_intermediate_promotes_when_declared_native(self, pager, alloc):
+        pager.native_sizes = {PAGE_64K, 256 * 1024}
+        region = pager.ensure_region(alloc.base, 256 * 1024, PAGE_64K, 0, "p")
+        for i in range(4):
+            record = pager.map_into_region(
+                alloc.base + i * PAGE_64K, region, alloc.alloc_id
+            )
+        assert record.page_size == 256 * 1024
+
+    def test_bad_region_geometry_rejected(self, pager, alloc):
+        with pytest.raises(ValueError):
+            pager.ensure_region(alloc.base, 3 * PAGE_64K, PAGE_64K, 0, "p")
+
+
+class TestRelease:
+    def test_release_returns_unused_frames(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        pager.map_into_region(alloc.base, region, alloc.alloc_id)
+        pager.map_into_region(
+            alloc.base + PAGE_64K, region, alloc.alloc_id
+        )
+        pager.release_region(region)
+        assert region.released
+        assert pager.allocator.free_list_length(0, PAGE_64K, "p") == 30
+
+    def test_release_is_idempotent(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        pager.map_into_region(alloc.base, region, alloc.alloc_id)
+        pager.release_region(region)
+        pager.release_region(region)
+        assert pager.allocator.free_list_length(0, PAGE_64K, "p") == 31
+
+    def test_release_promoted_rejected(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        for i in range(32):
+            pager.map_into_region(
+                alloc.base + i * PAGE_64K, region, alloc.alloc_id
+            )
+        with pytest.raises(ValueError):
+            pager.release_region(region)
+
+    def test_mapping_into_released_region_rejected(self, pager, alloc):
+        region = pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        pager.map_into_region(alloc.base, region, alloc.alloc_id)
+        pager.release_region(region)
+        with pytest.raises(ValueError):
+            pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 1, "p")
+
+
+class TestMapSingle:
+    def test_map_single(self, pager, alloc):
+        record = pager.map_single(
+            alloc.base + 100, PAGE_64K, 2, alloc.alloc_id, "p"
+        )
+        assert record.chiplet == 2
+        assert record.region is None
+
+
+class TestMigration:
+    def test_migrate_moves_page(self, pager, alloc):
+        pager.map_single(alloc.base, PAGE_64K, 0, alloc.alloc_id, "p")
+        record = pager.migrate_page(alloc.base, 3, "p")
+        assert record.chiplet == 3
+        assert pager.page_table.lookup(alloc.base) is record
+
+    def test_migration_cost_accounting(self, pager, alloc):
+        pager.map_single(alloc.base, PAGE_64K, 0, alloc.alloc_id, "p")
+        pager.migrate_page(alloc.base, 1, "p", free_of_cost=False)
+        stats = pager.migration
+        assert stats.pages_migrated == 1
+        assert stats.tlb_shootdowns == 1
+        assert stats.bytes_migrated == PAGE_64K
+        assert stats.total_cycles() > 0
+
+    def test_free_migration_not_charged(self, pager, alloc):
+        pager.map_single(alloc.base, PAGE_64K, 0, alloc.alloc_id, "p")
+        pager.migrate_page(alloc.base, 1, "p", free_of_cost=True)
+        assert pager.migration.total_cycles() == 0
+        assert pager.migration.pages_migrated_free == 1
+
+    def test_old_frame_returns_to_pool(self, pager, alloc):
+        record = pager.map_single(alloc.base, PAGE_64K, 0, alloc.alloc_id, "p")
+        old_paddr = record.paddr
+        pager.migrate_page(alloc.base, 1, "p")
+        fresh = pager.allocator.allocate(0, PAGE_64K, "p")
+        assert fresh.paddr == old_paddr
+
+
+class TestExhaustionFallback:
+    def test_falls_back_to_least_loaded_chiplet(self):
+        layout = AddressLayout(num_chiplets=4)
+        allocator = FrameAllocator(layout, capacity_blocks_per_chiplet=1)
+        pager = DemandPager(PageTable(), allocator, VASpace())
+        alloc = pager.va_space.allocate("d", 16 * MB)
+        # Fill chiplet 0 and partially load chiplet 1.
+        pager.ensure_region(alloc.base, PAGE_2M, PAGE_64K, 0, "p")
+        pager.map_single(
+            alloc.base + 2 * PAGE_2M, PAGE_64K, 1, alloc.alloc_id, "p"
+        )
+        # Chiplet 0 is full: the mapping falls back to chiplet 2 or 3
+        # (most free capacity), not to the loaded chiplet 1.
+        record = pager.map_single(
+            alloc.base + 4 * PAGE_2M, PAGE_64K, 0, alloc.alloc_id, "p"
+        )
+        assert record.chiplet in (2, 3)
+        assert pager.fallback_placements == 1
+
+    def test_total_exhaustion_raises(self):
+        layout = AddressLayout(num_chiplets=4)
+        allocator = FrameAllocator(layout, capacity_blocks_per_chiplet=0)
+        pager = DemandPager(PageTable(), allocator, VASpace())
+        alloc = pager.va_space.allocate("d", 4 * MB)
+        with pytest.raises(ChipletMemoryExhausted):
+            pager.map_single(alloc.base, PAGE_64K, 0, alloc.alloc_id, "p")

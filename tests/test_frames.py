@@ -1,0 +1,191 @@
+"""Tests for block-based physical frame management (Section 4.1 / 4.7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.address import AddressLayout
+from repro.mem.frames import (
+    DEFAULT_POOL,
+    ChipletMemoryExhausted,
+    Frame,
+    FrameAllocator,
+)
+from repro.units import BLOCK_SIZE, PAGE_2M, PAGE_64K
+
+
+@pytest.fixture
+def allocator():
+    return FrameAllocator(AddressLayout(num_chiplets=4))
+
+
+class TestFrame:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            Frame(paddr=PAGE_64K // 2, size=PAGE_64K, chiplet=0)
+
+    def test_subframe(self):
+        frame = Frame(0, PAGE_2M, 0)
+        sub = frame.subframe(PAGE_64K, PAGE_64K)
+        assert sub.paddr == PAGE_64K
+        assert sub.size == PAGE_64K
+
+    def test_subframe_bounds(self):
+        frame = Frame(0, PAGE_2M, 0)
+        with pytest.raises(ValueError):
+            frame.subframe(PAGE_2M, PAGE_64K)
+        with pytest.raises(ValueError):
+            frame.subframe(1000, PAGE_64K)
+
+    def test_block_index(self):
+        frame = Frame(3 * BLOCK_SIZE, PAGE_2M, 3)
+        assert frame.block_index == 3
+
+
+class TestAllocation:
+    def test_frames_land_on_requested_chiplet(self, allocator):
+        for chiplet in range(4):
+            frame = allocator.allocate(chiplet, PAGE_64K)
+            assert frame.chiplet == chiplet
+            layout = AddressLayout(num_chiplets=4)
+            assert layout.chiplet_of_paddr(frame.paddr) == chiplet
+
+    def test_block_never_mixes_sizes(self, allocator):
+        small = allocator.allocate(0, PAGE_64K)
+        large = allocator.allocate(0, PAGE_2M)
+        assert small.block_index != large.block_index
+
+    def test_frames_are_size_aligned(self, allocator):
+        for size in (PAGE_64K, 256 * 1024, PAGE_2M):
+            frame = allocator.allocate(1, size)
+            assert frame.paddr % size == 0
+
+    def test_split_block_yields_ascending_addresses(self, allocator):
+        first = allocator.allocate(0, PAGE_64K)
+        second = allocator.allocate(0, PAGE_64K)
+        assert second.paddr == first.paddr + PAGE_64K
+
+    def test_unique_addresses(self, allocator):
+        seen = set()
+        for _ in range(100):
+            frame = allocator.allocate(2, PAGE_64K)
+            assert frame.paddr not in seen
+            seen.add(frame.paddr)
+
+    def test_free_then_reallocate(self, allocator):
+        frame = allocator.allocate(0, PAGE_64K)
+        allocator.free(frame)
+        again = allocator.allocate(0, PAGE_64K)
+        assert again.paddr == frame.paddr
+
+    def test_rejects_bad_sizes(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.allocate(0, 3 * PAGE_64K)
+        with pytest.raises(ValueError):
+            allocator.allocate(0, 4 * PAGE_2M)
+
+    def test_rejects_bad_chiplet(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.allocate(7, PAGE_64K)
+
+
+class TestPools:
+    def test_pools_do_not_share_blocks(self, allocator):
+        a = allocator.allocate(0, PAGE_64K, pool="alloc0")
+        b = allocator.allocate(0, PAGE_64K, pool="alloc1")
+        assert a.block_index != b.block_index
+
+    def test_reclaim_pool_returns_whole_blocks(self, allocator):
+        for _ in range(3):
+            allocator.allocate(0, PAGE_64K, pool="doomed")
+        used_before = allocator.blocks_in_use()
+        reclaimed = allocator.reclaim_pool("doomed")
+        assert reclaimed == 1  # all three frames came from one PF block
+        assert allocator.blocks_in_use() == used_before - 1
+
+    def test_reclaimed_blocks_are_reused(self, allocator):
+        frame = allocator.allocate(2, PAGE_2M, pool="old")
+        allocator.reclaim_pool("old")
+        fresh = allocator.allocate(2, PAGE_2M, pool="new")
+        assert fresh.paddr == frame.paddr
+
+    def test_reclaim_drops_pool_free_lists(self, allocator):
+        allocator.allocate(0, PAGE_64K, pool="p")
+        assert allocator.free_list_length(0, PAGE_64K, "p") == 31
+        allocator.reclaim_pool("p")
+        assert allocator.free_list_length(0, PAGE_64K, "p") == 0
+
+
+class TestReservationRelease:
+    def test_release_returns_unused_subframes(self, allocator):
+        frame = allocator.allocate(0, PAGE_2M, pool="p")
+        released = allocator.release_reservation(
+            frame, used=5, subframe_size=PAGE_64K, pool="p"
+        )
+        assert len(released) == 27
+        assert allocator.free_list_length(0, PAGE_64K, "p") == 27
+
+    def test_release_validates_used(self, allocator):
+        frame = allocator.allocate(0, PAGE_2M)
+        with pytest.raises(ValueError):
+            allocator.release_reservation(frame, used=33, subframe_size=PAGE_64K)
+
+    def test_released_subframes_are_reusable(self, allocator):
+        frame = allocator.allocate(0, PAGE_2M, pool="p")
+        allocator.release_reservation(frame, 1, PAGE_64K, pool="p")
+        sub = allocator.allocate(0, PAGE_64K, pool="p")
+        # Comes from the released remainder, not a fresh PF block.
+        assert frame.paddr < sub.paddr < frame.paddr + PAGE_2M
+
+
+class TestCapacity:
+    def test_exhaustion_raises(self):
+        allocator = FrameAllocator(
+            AddressLayout(num_chiplets=4), capacity_blocks_per_chiplet=2
+        )
+        allocator.allocate(0, PAGE_2M)
+        allocator.allocate(0, PAGE_2M)
+        with pytest.raises(ChipletMemoryExhausted):
+            allocator.allocate(0, PAGE_2M)
+
+    def test_other_chiplets_unaffected(self):
+        allocator = FrameAllocator(
+            AddressLayout(num_chiplets=4), capacity_blocks_per_chiplet=1
+        )
+        allocator.allocate(0, PAGE_2M)
+        allocator.allocate(1, PAGE_2M)  # still fine
+
+    def test_free_capacity_counts_recycled_blocks(self):
+        allocator = FrameAllocator(
+            AddressLayout(num_chiplets=4), capacity_blocks_per_chiplet=1
+        )
+        allocator.allocate(0, PAGE_2M, pool="p")
+        assert allocator.free_capacity(0) == 0
+        allocator.reclaim_pool("p")
+        assert allocator.free_capacity(0) == 1
+
+    def test_unbounded_reports_none(self, allocator):
+        assert allocator.free_capacity(0) is None
+
+
+@given(
+    requests=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from([PAGE_64K, 256 * 1024, PAGE_2M]),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_property_no_frame_overlap(requests):
+    """Allocated frames never overlap, regardless of request order."""
+    allocator = FrameAllocator(AddressLayout(num_chiplets=4))
+    intervals = []
+    for chiplet, size in requests:
+        frame = allocator.allocate(chiplet, size)
+        intervals.append((frame.paddr, frame.paddr + frame.size))
+    intervals.sort()
+    for (s1, e1), (s2, _) in zip(intervals, intervals[1:]):
+        assert e1 <= s2

@@ -1,0 +1,214 @@
+"""Tests for trace generation: the structural properties everything
+downstream (first-touch placement, PMM, RT) depends on."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.generators import _line_offsets, scan_order
+from repro.trace.workload import (
+    KernelSpec,
+    Pattern,
+    Scan,
+    StructureSpec,
+    StructureUsage,
+    Workload,
+    WorkloadSpec,
+)
+from repro.units import CACHE_LINE, MB, PAGE_64K
+
+
+def bind(*structures, kernels=(), tb_count=64, num_chiplets=4):
+    spec = WorkloadSpec(
+        "T", "test", tuple(structures), tb_count=tb_count, kernels=kernels
+    )
+    return Workload(spec, num_chiplets=num_chiplets)
+
+
+def first_touch(trace, allocation):
+    """page -> first-touching chiplet, from the trace."""
+    mask = trace.alloc_ids == allocation.alloc_id
+    pages = (trace.vaddrs[mask] - allocation.base) // PAGE_64K
+    chiplets = trace.chiplets[mask]
+    owners = {}
+    for page, chiplet in zip(pages.tolist(), chiplets.tolist()):
+        owners.setdefault(page, chiplet)
+    return owners
+
+
+class TestLineOffsets:
+    def test_aligned_and_in_page(self):
+        for lines in (1, 3, 4, 6, 10, 12, 16):
+            offsets = _line_offsets(lines)
+            assert len(offsets) == lines
+            assert all(0 <= o < PAGE_64K for o in offsets)
+            assert all(o % CACHE_LINE == 0 for o in offsets)
+            assert len(set(offsets.tolist())) == lines  # distinct lines
+
+    def test_clusters_lines_into_few_4k_subpages(self):
+        offsets = _line_offsets(12)
+        subpages = {int(o) // 4096 for o in offsets}
+        assert len(subpages) <= 4
+
+    def test_too_many_lines_rejected(self):
+        with pytest.raises(ValueError):
+            _line_offsets(PAGE_64K // CACHE_LINE + 1)
+
+
+class TestScanOrder:
+    def test_sequential(self):
+        pages = np.array([5, 3, 1])
+        assert scan_order(pages, Scan.SEQUENTIAL).tolist() == [1, 3, 5]
+
+    def test_block_strided_visits_blocks_before_completing_any(self):
+        pages = np.arange(64)  # two full 2MB blocks
+        ordered = scan_order(pages, Scan.BLOCK_STRIDED).tolist()
+        assert ordered[:2] == [0, 32]
+        assert ordered[2:4] == [1, 33]
+
+
+class TestFirstTouchOwnership:
+    def test_partitioned_first_touch_matches_owner(self):
+        structure = StructureSpec(
+            "s", 8 * MB, 8 * MB, Pattern.PARTITIONED, group_pages=4
+        )
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        owners = first_touch(trace, workload.allocations["s"])
+        for page, chiplet in owners.items():
+            assert chiplet == workload.owner_of_page(structure, page)
+
+    def test_shared_first_touch_matches_owner_map(self):
+        structure = StructureSpec("s", 8 * MB, 8 * MB, Pattern.SHARED)
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        owners = first_touch(trace, workload.allocations["s"])
+        owner_map = workload.owner_map(structure)
+        for page, chiplet in owners.items():
+            assert chiplet == owner_map[page]
+
+    def test_shared_structure_accessed_by_all_chiplets(self):
+        structure = StructureSpec("s", 8 * MB, 8 * MB, Pattern.SHARED)
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        # every page sees all four chiplets
+        page = workload.allocations["s"].base
+        accessors = set(
+            trace.chiplets[trace.vaddrs // PAGE_64K == page // PAGE_64K]
+            .tolist()
+        )
+        assert accessors == {0, 1, 2, 3}
+
+    def test_noise_stays_within_bounds(self):
+        structure = StructureSpec(
+            "s", 8 * MB, 8 * MB, Pattern.CONTIGUOUS, noise=0.3
+        )
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        truth = workload.owner_map(structure)
+        pages = (trace.vaddrs - workload.allocations["s"].base) // PAGE_64K
+        expected = truth[pages]
+        mismatch = float(np.mean(trace.chiplets != expected))
+        # ~30% noisy, of which 3/4 land on a foreign chiplet
+        assert 0.12 < mismatch < 0.35
+
+
+class TestTraceShape:
+    def test_all_pages_touched(self):
+        structure = StructureSpec("s", 8 * MB, 8 * MB, Pattern.PARTITIONED)
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        pages = set(
+            ((trace.vaddrs - workload.allocations["s"].base) // PAGE_64K)
+            .tolist()
+        )
+        assert pages == set(range(structure.num_pages))
+
+    def test_access_count(self):
+        structure = StructureSpec(
+            "s", 8 * MB, 8 * MB, Pattern.PARTITIONED,
+            waves=3, lines_per_touch=4,
+        )
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        assert len(trace) == structure.num_pages * 3 * 4
+
+    def test_warp_instruction_scaling(self):
+        structure = StructureSpec("s", 8 * MB, 8 * MB, Pattern.PARTITIONED)
+        spec = WorkloadSpec(
+            "T", "t", (structure,), tb_count=4, mem_fraction=0.25
+        )
+        workload = Workload(spec, 4)
+        trace = workload.build_trace(7)
+        assert trace.n_warp_instructions == len(trace) * 4
+
+    def test_determinism(self):
+        structure = StructureSpec(
+            "s", 8 * MB, 8 * MB, Pattern.CONTIGUOUS, noise=0.2
+        )
+        t1 = bind(structure).build_trace(7)
+        t2 = bind(structure).build_trace(7)
+        assert np.array_equal(t1.vaddrs, t2.vaddrs)
+        assert np.array_equal(t1.chiplets, t2.chiplets)
+
+    def test_chiplets_progress_concurrently(self):
+        """All chiplets appear in the first slice of the trace."""
+        structure = StructureSpec("s", 8 * MB, 8 * MB, Pattern.CONTIGUOUS)
+        workload = bind(structure)
+        trace = workload.build_trace(7)
+        head = set(trace.chiplets[: len(trace) // 8].tolist())
+        assert head == {0, 1, 2, 3}
+
+
+class TestMultiKernel:
+    def test_kernel_boundaries_and_usage(self):
+        a = StructureSpec("a", 4 * MB, 4 * MB, Pattern.CONTIGUOUS)
+        b = StructureSpec("b", 4 * MB, 4 * MB, Pattern.CONTIGUOUS)
+        kernels = (
+            KernelSpec("k1", (StructureUsage("a"),)),
+            KernelSpec("k2", (StructureUsage("b"), StructureUsage("a", subset=0.5))),
+        )
+        workload = bind(a, b, kernels=kernels)
+        trace = workload.build_trace(7)
+        assert trace.kernel_starts[0] == 0
+        k2 = trace.kernel_starts[1]
+        # kernel 1 touches only structure a
+        assert set(trace.alloc_ids[:k2].tolist()) == {0}
+        assert set(trace.alloc_ids[k2:].tolist()) == {0, 1}
+
+    def test_subset_limits_pages(self):
+        a = StructureSpec("a", 8 * MB, 8 * MB, Pattern.CONTIGUOUS)
+        kernels = (KernelSpec("k", (StructureUsage("a", subset=0.25),)),)
+        workload = bind(a, kernels=kernels)
+        trace = workload.build_trace(7)
+        pages = (trace.vaddrs - workload.allocations["a"].base) // PAGE_64K
+        assert pages.max() < a.num_pages // 4
+
+    def test_owner_shift_rotates_accessors(self):
+        a = StructureSpec("a", 8 * MB, 8 * MB, Pattern.CONTIGUOUS)
+        kernels = (KernelSpec("k", (StructureUsage("a", owner_shift=2),)),)
+        workload = bind(a, kernels=kernels)
+        trace = workload.build_trace(7)
+        truth = workload.owner_map(a)
+        pages = (trace.vaddrs - workload.allocations["a"].base) // PAGE_64K
+        assert np.array_equal(
+            trace.chiplets, (truth[pages] + 2) % 4
+        )
+
+
+@given(
+    group=st.integers(min_value=1, max_value=8),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_partitioned_first_touch_always_owner(group, seed):
+    structure = StructureSpec(
+        "s", 4 * MB, 4 * MB, Pattern.PARTITIONED, group_pages=group,
+        waves=2, lines_per_touch=3,
+    )
+    workload = bind(structure)
+    trace = workload.build_trace(seed)
+    owners = first_touch(trace, workload.allocations["s"])
+    for page, chiplet in owners.items():
+        assert chiplet == (page // group) % 4

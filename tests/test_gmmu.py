@@ -1,0 +1,78 @@
+"""Tests for the GMMU: page walker, walk cache, fault buffer."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.gmmu.fault_buffer import FaultBuffer
+from repro.gmmu.remote_tracker import RemoteTracker
+from repro.gmmu.walker import WALK_CACHE_HIT_CYCLES, PageWalker, PtePlacement
+
+
+@pytest.fixture
+def walker():
+    return PageWalker(baseline_config(), chiplet=0)
+
+
+class TestWalkCosts:
+    def test_cold_walk_fetches_all_levels(self, walker):
+        cycles = walker.walk(0x100000, alloc_id=0, leaf_chiplet=0)
+        # 4 memory fetches, no walk-cache hits on the first walk.
+        assert cycles >= 4 * baseline_config().l2_latency
+
+    def test_warm_walk_hits_walk_cache(self, walker):
+        first = walker.walk(0x100000, 0, 0)
+        second = walker.walk(0x100000 + 4096, 0, 0)
+        # Upper levels now hit: only the leaf PTE fetch plus 3 cache hits.
+        assert second < first
+        assert second >= baseline_config().l2_latency
+        assert second <= (
+            baseline_config().l2_latency
+            + 3 * WALK_CACHE_HIT_CYCLES
+            + 6 * baseline_config().hop_cycles
+        )
+
+    def test_local_placement_cheaper_than_distributed(self):
+        cfg = baseline_config()
+        distributed = PageWalker(cfg, 0, placement=PtePlacement.DISTRIBUTED)
+        local = PageWalker(cfg, 0, placement=PtePlacement.LOCAL)
+        addrs = [i * (2 << 20) for i in range(50)]
+        d = sum(distributed.walk(a, 0, 0) for a in addrs)
+        l = sum(local.walk(a, 0, 0) for a in addrs)
+        assert l < d
+        assert distributed.stats.remote_steps > 0
+        assert local.stats.remote_steps == 0
+
+    def test_stats_accumulate(self, walker):
+        walker.walk(0, 0, 0)
+        walker.walk(1 << 30, 0, 1)
+        assert walker.stats.walks == 2
+        assert walker.stats.mean_cycles > 0
+
+
+class TestWalkerRTIntegration:
+    def test_walks_update_remote_tracker(self):
+        tracker = RemoteTracker()
+        tracker.register(5)
+        walker = PageWalker(baseline_config(), 0, remote_tracker=tracker)
+        walker.walk(0, alloc_id=5, leaf_chiplet=0)   # local
+        walker.walk(4096, alloc_id=5, leaf_chiplet=2)  # remote
+        entry = tracker.peek(5)
+        assert entry.accesses == 2
+        assert entry.remotes == 1
+
+
+class TestFaultBuffer:
+    def test_log_and_drain(self):
+        buffer = FaultBuffer(capacity=4)
+        assert buffer.log(0x1000, 0)
+        assert buffer.log(0x2000, 1)
+        assert len(buffer) == 2
+        assert buffer.drain() == [(0x1000, 0), (0x2000, 1)]
+        assert len(buffer) == 0
+        assert buffer.faults_logged == 2
+
+    def test_overflow_stalls(self):
+        buffer = FaultBuffer(capacity=1)
+        assert buffer.log(0, 0)
+        assert not buffer.log(1, 0)
+        assert buffer.stalls == 1

@@ -1,0 +1,98 @@
+"""Tests for the per-chiplet translation path (L1 -> L2 -> walk)."""
+
+import pytest
+
+from repro.config import baseline_config
+from repro.tlb.hierarchy import TranslationPath
+from repro.tlb.units import TranslationUnit, UnitKind
+from repro.units import PAGE_2M, PAGE_64K
+
+
+def unit(tag, coverage=PAGE_64K, size_class=PAGE_64K, bit=0):
+    return TranslationUnit(UnitKind.NATIVE, tag, coverage, size_class, bit)
+
+
+@pytest.fixture
+def path():
+    return TranslationPath(baseline_config(), chiplet=0)
+
+
+class TestFlow:
+    def test_cold_access_walks(self, path):
+        walked = []
+        result = path.access(
+            unit(0), walk=lambda: walked.append(1) or 500,
+            valid_mask=lambda: 1,
+        )
+        assert result.level == "walk"
+        assert result.walked
+        assert walked == [1]
+        assert result.latency == baseline_config().l2_tlb.latency + 500
+
+    def test_second_access_hits_l1_free(self, path):
+        path.access(unit(0), walk=lambda: 500, valid_mask=lambda: 1)
+        result = path.access(
+            unit(0), walk=lambda: pytest.fail("must not walk"),
+            valid_mask=lambda: pytest.fail("must not compute mask"),
+        )
+        assert result.level == "L1"
+        assert result.latency == 0
+
+    def test_l2_hit_after_l1_eviction(self, path):
+        cfg = baseline_config()
+        l1_entries = cfg.scaled_l1_tlb_entries(PAGE_64K)
+        # Fill beyond L1 capacity but within L2.
+        for i in range(l1_entries + 1):
+            path.access(unit(i * PAGE_64K), lambda: 500, lambda: 1)
+        result = path.access(unit(0), lambda: 500, lambda: 1)
+        assert result.level == "L2"
+        assert result.latency == cfg.l2_tlb.latency
+
+    def test_classes_are_independent(self, path):
+        path.access(unit(0), lambda: 500, lambda: 1)
+        result = path.access(
+            unit(0, PAGE_2M, PAGE_2M), lambda: 300, lambda: 1
+        )
+        assert result.level == "walk"
+
+    def test_stats(self, path):
+        path.access(unit(0), lambda: 500, lambda: 1)
+        path.access(unit(0), lambda: 500, lambda: 1)
+        assert path.walks == 1
+        assert path.l1_hits == 1
+        assert path.accesses == 2
+        assert path.l2_misses == 1
+
+
+class TestCoalescedFlow:
+    def test_valid_bit_miss_triggers_walk_and_merge(self, path):
+        coalesced = TranslationUnit(
+            UnitKind.COALESCED, 0, 4 * PAGE_64K, PAGE_64K, 0
+        )
+        path.access(coalesced, lambda: 500, lambda: 0b0001)
+        other_bit = TranslationUnit(
+            UnitKind.COALESCED, 0, 4 * PAGE_64K, PAGE_64K, 2
+        )
+        result = path.access(other_bit, lambda: 500, lambda: 0b0101)
+        assert result.walked  # bit 2 was invalid -> walk + merge
+        again = path.access(
+            other_bit, lambda: pytest.fail("merged bit must hit"),
+            valid_mask=lambda: 0,
+        )
+        assert again.level == "L1"
+
+
+class TestShootdown:
+    def test_shootdown_invalidates_both_levels(self, path):
+        path.access(unit(0), lambda: 500, lambda: 1)
+        path.shootdown(0, PAGE_64K)
+        result = path.access(unit(0), lambda: 500, lambda: 1)
+        assert result.walked
+
+    def test_shootdown_of_unknown_class_is_noop(self, path):
+        path.shootdown(0, PAGE_2M)  # no 2MB TLB instantiated yet
+
+    def test_flush(self, path):
+        path.access(unit(0), lambda: 500, lambda: 1)
+        path.flush()
+        assert path.access(unit(0), lambda: 500, lambda: 1).walked

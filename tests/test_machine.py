@@ -1,0 +1,121 @@
+"""Tests for the wired machine and failure-injection paths."""
+
+import pytest
+
+from repro.arch.address import InterleavePolicy
+from repro.config import baseline_config, eight_chiplet_config
+from repro.policies import StaticPaging
+from repro.policies.base import PlacementPolicy
+from repro.sim.engine import run_simulation
+from repro.sim.machine import Machine
+from repro.units import MB, PAGE_64K
+
+from .conftest import contiguous, make_spec, partitioned
+
+
+class TestMachineWiring:
+    def test_per_chiplet_structures(self):
+        machine = Machine(baseline_config())
+        assert len(machine.paths) == 4
+        assert len(machine.walkers) == 4
+        assert len(machine.remote_trackers) == 4
+        assert len(machine.l2_caches) == 4
+        assert machine.remote_caches is None
+        assert machine.dram.num_channels == 64
+
+    def test_eight_chiplets(self):
+        machine = Machine(eight_chiplet_config())
+        assert machine.num_chiplets == 8
+        assert machine.dram.num_channels == 128
+
+    def test_remote_cache_wiring(self):
+        machine = Machine(baseline_config(), remote_cache="NUBA")
+        assert len(machine.remote_caches) == 4
+
+    def test_walkers_feed_their_chiplet_rt(self):
+        machine = Machine(baseline_config())
+        machine.register_allocation(7)
+        machine.walkers[2].walk(0, alloc_id=7, leaf_chiplet=0)
+        assert machine.remote_trackers[2].peek(7).remotes == 1
+        assert machine.remote_trackers[0].peek(7).accesses == 0
+
+    def test_rt_ratio_aggregates_and_drains(self):
+        machine = Machine(baseline_config())
+        machine.register_allocation(1)
+        machine.walkers[0].walk(0, 1, 0)        # local
+        machine.walkers[1].walk(4096, 1, 0)     # remote (requester 1)
+        assert machine.rt_ratio(1) == pytest.approx(0.5)
+        assert machine.rt_ratio(1) == 0.0  # drained
+
+    def test_shootdown_reaches_all_chiplets(self):
+        machine = Machine(baseline_config())
+        from repro.tlb.units import TranslationUnit, UnitKind
+
+        unit = TranslationUnit(UnitKind.NATIVE, 0, PAGE_64K, PAGE_64K, 0)
+        for path in machine.paths:
+            path.access(unit, lambda: 100, lambda: 1)
+        machine.shootdown(0, PAGE_64K)
+        for path in machine.paths:
+            assert path.access(unit, lambda: 100, lambda: 1).walked
+
+
+class TestFailureInjection:
+    def test_policy_that_does_not_map_is_detected(self):
+        class BrokenPolicy(PlacementPolicy):
+            name = "broken"
+
+            def place(self, vaddr, requester, allocation):
+                pass  # forgets to map
+
+        spec = make_spec(
+            partitioned(size=4 * MB, waves=2, lines_per_touch=3)
+        )
+        with pytest.raises(RuntimeError, match="failed to map"):
+            run_simulation(spec, BrokenPolicy())
+
+    def test_oversubscribed_chiplet_falls_back_not_crashes(self):
+        """When one chiplet fills up, placement spills to the chiplets
+        with the most free capacity (Section 4.7) instead of failing."""
+
+        class PinToZero(PlacementPolicy):
+            """Pathological policy: wants everything on chiplet 0."""
+
+            name = "pin0"
+
+            def place(self, vaddr, requester, allocation):
+                self.machine.pager.map_single(
+                    vaddr, PAGE_64K, 0, allocation.alloc_id,
+                    self.pool_for(allocation),
+                )
+
+        spec = make_spec(
+            contiguous(size=8 * MB, waves=2, lines_per_touch=3)
+        )
+
+        from repro.trace.workload import Workload
+
+        config = baseline_config()
+        machine = Machine(config, capacity_blocks_per_chiplet=2)
+        workload = Workload(spec, 4, va_space=machine.va_space, seed=7)
+        policy = PinToZero()
+        policy.attach(machine, workload)
+        trace = workload.build_trace(7)
+        for chiplet, vaddr, alloc_id in zip(
+            trace.chiplets.tolist(),
+            trace.vaddrs.tolist(),
+            trace.alloc_ids.tolist(),
+        ):
+            if machine.page_table.lookup(vaddr) is None:
+                policy.place(
+                    vaddr, chiplet, workload.va_space.by_id(alloc_id)
+                )
+        # chiplet 0 holds 2 blocks (64 pages); the other 64 pages spilled
+        assert machine.pager.fallback_placements > 0
+        assert machine.page_table.mapped_pages == 128
+        homes = {
+            record.chiplet
+            for record in machine.page_table.mappings_in_range(
+                workload.allocations["cont"].base, 8 * MB
+            )
+        }
+        assert len(homes) > 1

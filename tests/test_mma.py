@@ -1,0 +1,144 @@
+"""Tests for the MMA tree analysis (Section 4.4, Figure 15)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.mma import (
+    effective_threshold,
+    level_scores,
+    locality_level,
+    select_page_size,
+)
+from repro.units import KB, PAGE_2M, PAGE_64K
+
+
+class TestLevelScores:
+    def test_leaf_level_is_one(self):
+        assert level_scores([0, 1, 2, 3])[0] == 1.0
+
+    def test_fully_local_block(self):
+        scores = level_scores([2] * 32)
+        assert scores == [1.0] * 6
+
+    def test_alternating_pairs(self):
+        # groups of 2 per chiplet: perfect at level 1, half at level 2
+        owners = [0, 0, 1, 1, 2, 2, 3, 3]
+        scores = level_scores(owners)
+        assert scores[1] == 1.0
+        assert scores[2] == 0.5
+        assert scores[3] == 0.25
+
+    def test_paper_figure15_example(self):
+        """The 512KB VA region of Figure 15: leaves mapped so that level
+        scores decay; with ratio_rt = 0.75 the 512KB level qualifies."""
+        owners = [0, 0, 1, 1, 2, 2, 3, 3]
+        bar = effective_threshold(0.75)
+        assert bar == pytest.approx(0.25)
+        assert locality_level(owners, bar) == 3  # the full 512KB region
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            level_scores([])
+        with pytest.raises(ValueError):
+            level_scores([0, 1, 2])  # not a power of two
+        with pytest.raises(ValueError):
+            level_scores([0, 9], num_chiplets=4)
+
+
+class TestLocalityLevel:
+    def test_strict_threshold_picks_group_granularity(self):
+        # 4-page runs: level 2 (256KB) perfect, level 3 not
+        owners = ([0] * 4 + [1] * 4 + [2] * 4 + [3] * 4) * 2
+        assert locality_level(owners, 1.0) == 2
+
+    def test_level_zero_always_qualifies(self):
+        owners = [0, 1, 2, 3] * 8
+        assert locality_level(owners, 1.0) == 0
+
+    def test_relaxed_threshold_reaches_higher(self):
+        owners = [0] * 30 + [1, 2]  # nearly all local
+        assert locality_level(owners, 1.0) < locality_level(owners, 0.9)
+
+
+class TestEffectiveThreshold:
+    def test_default_is_strict(self):
+        assert effective_threshold(0.0) == 1.0
+
+    def test_rt_ratio_relaxes(self):
+        assert effective_threshold(0.3) == pytest.approx(0.7)
+
+    def test_clamped_to_zero(self):
+        assert effective_threshold(1.0, ratio_target=0.5) == 0.0
+
+    def test_k_scales(self):
+        assert effective_threshold(0.4, k=2.0) == pytest.approx(0.8)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            effective_threshold(1.5)
+        with pytest.raises(ValueError):
+            effective_threshold(0.5, k=0)
+
+
+class TestSelectPageSize:
+    def test_group_of_four_selects_256kb(self):
+        block = ([0] * 4 + [1] * 4 + [2] * 4 + [3] * 4) * 2
+        assert select_page_size([block]) == 256 * KB
+
+    def test_single_owner_selects_2mb(self):
+        assert select_page_size([[1] * 32]) == PAGE_2M
+
+    def test_interleaved_selects_64kb(self):
+        assert select_page_size([[0, 1, 2, 3] * 8]) == PAGE_64K
+
+    def test_shared_structure_with_rt(self):
+        """Random-ish owners + 0.75 inherent remote ratio -> 2MB."""
+        block = [0, 2, 1, 3, 0, 0, 2, 1, 3, 2, 0, 1, 1, 3, 2, 0] * 2
+        assert select_page_size([block], ratio_rt=0.75) == PAGE_2M
+
+    def test_dominant_degree_across_blocks(self):
+        fine = [[0, 1, 2, 3] * 8]
+        coarse = [[0] * 32]
+        # two fine blocks against one coarse: 64KB dominates
+        assert select_page_size(fine * 2 + coarse) == PAGE_64K
+
+    def test_tie_breaks_to_smaller_size(self):
+        fine = [0, 1, 2, 3] * 8
+        coarse = [2] * 32
+        assert select_page_size([fine, coarse]) == PAGE_64K
+
+    def test_requires_blocks(self):
+        with pytest.raises(ValueError):
+            select_page_size([])
+
+
+@given(
+    owners=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=32, max_size=32
+    ),
+    ratio=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_selection_monotone_in_rt_ratio(owners, ratio):
+    """Relaxing the threshold (higher RT ratio) never selects a *smaller*
+    page size, and results are always valid tree levels."""
+    strict = select_page_size([owners], ratio_rt=0.0)
+    relaxed = select_page_size([owners], ratio_rt=ratio)
+    assert relaxed >= strict
+    assert strict in {PAGE_64K << i for i in range(6)}
+    assert relaxed <= PAGE_2M
+
+
+@given(
+    owners=st.lists(
+        st.integers(min_value=0, max_value=3), min_size=2, max_size=64
+    ).filter(lambda l: (len(l) & (len(l) - 1)) == 0)
+)
+@settings(max_examples=60, deadline=None)
+def test_property_scores_bounded_and_leaf_perfect(owners):
+    scores = level_scores(owners)
+    assert scores[0] == 1.0
+    for score in scores:
+        assert 1 / 4 <= score <= 1.0 or score >= 0.25
+        assert 0.0 < score <= 1.0

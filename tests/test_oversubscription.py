@@ -1,0 +1,87 @@
+"""Tests for memory oversubscription with host eviction (Section 4.7)."""
+
+import pytest
+
+from repro.core.clap import ClapPolicy
+from repro.mem.frames import ChipletMemoryExhausted
+from repro.policies import StaticPaging
+from repro.sim.engine import run_simulation
+from repro.units import MB, PAGE_64K
+from repro.vm.oversubscription import HOST_FAULT_CYCLES
+
+from .conftest import contiguous, make_spec, partitioned
+
+
+def oversubscribed_spec():
+    # 16MB structure, multiple reuse waves so evicted pages refault.
+    return make_spec(
+        contiguous(size=16 * MB, waves=3, lines_per_touch=4)
+    )
+
+
+class TestHostEviction:
+    def test_without_eviction_exhaustion_raises(self):
+        with pytest.raises(ChipletMemoryExhausted):
+            run_simulation(
+                oversubscribed_spec(),
+                StaticPaging(PAGE_64K),
+                capacity_blocks_per_chiplet=1,  # 8MB GPU for 16MB data
+            )
+
+    def test_with_eviction_the_run_completes(self):
+        result = run_simulation(
+            oversubscribed_spec(),
+            StaticPaging(PAGE_64K),
+            capacity_blocks_per_chiplet=1,
+            host_eviction=True,
+        )
+        assert result.host_refaults > 0
+        # thrashing: each wave refaults evicted pages
+        assert result.page_faults > 256  # > one fault per page
+
+    def test_oversubscription_costs_performance(self):
+        spec = oversubscribed_spec()
+        unlimited = run_simulation(spec, StaticPaging(PAGE_64K))
+        limited = run_simulation(
+            spec,
+            StaticPaging(PAGE_64K),
+            capacity_blocks_per_chiplet=1,
+            host_eviction=True,
+        )
+        assert limited.performance < unlimited.performance
+        assert limited.host_refaults > 0
+
+    def test_mild_pressure_is_mild(self):
+        """Capacity just above the footprint: no eviction at all."""
+        result = run_simulation(
+            oversubscribed_spec(),
+            StaticPaging(PAGE_64K),
+            capacity_blocks_per_chiplet=4,  # 32MB GPU for 16MB data
+            host_eviction=True,
+        )
+        assert result.host_refaults == 0
+
+    def test_clap_survives_oversubscription(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=3, lines_per_touch=4)
+        )
+        result = run_simulation(
+            spec,
+            ClapPolicy(),
+            capacity_blocks_per_chiplet=2,
+            host_eviction=True,
+        )
+        assert result.host_refaults > 0
+        # CLAP still reaches a selection despite the churn
+        assert result.selections["part"].page_size >= PAGE_64K
+
+    def test_host_fault_penalty_charged(self):
+        spec = oversubscribed_spec()
+        limited = run_simulation(
+            spec,
+            StaticPaging(PAGE_64K),
+            capacity_blocks_per_chiplet=1,
+            host_eviction=True,
+        )
+        # the cycle count includes at least the host-fault service time
+        assert limited.cycles > limited.host_refaults * HOST_FAULT_CYCLES

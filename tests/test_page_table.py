@@ -1,0 +1,217 @@
+"""Tests for the unified page table: mapping, promotion, demotion."""
+
+import pytest
+
+from repro.mem.frames import Frame
+from repro.units import PAGE_2M, PAGE_4K, PAGE_64K
+from repro.vm.page_table import MappingRecord, PageFault, PageTable, Region
+
+
+def make_region(va_base=0, size=PAGE_2M, chiplet=0, page_size=PAGE_64K):
+    return Region(
+        va_base=va_base,
+        size=size,
+        frame=Frame(0x40000000, size, chiplet),
+        page_size=page_size,
+        pool="p",
+    )
+
+
+def frame_at(paddr, size=PAGE_64K, chiplet=0):
+    return Frame(paddr, size, chiplet)
+
+
+class TestMapping:
+    def test_map_and_lookup(self):
+        pt = PageTable()
+        record = pt.map_page(0x10000, PAGE_64K, frame_at(0x20000), alloc_id=3)
+        assert pt.lookup(0x10000) is record
+        assert pt.lookup(0x10000 + 100) is record
+        assert pt.lookup(0x20000) is None
+
+    def test_translate_raises_on_miss(self):
+        pt = PageTable()
+        with pytest.raises(PageFault):
+            pt.translate(0x5000)
+
+    def test_double_map_rejected(self):
+        """The unified MCM page table forbids duplicates (Section 2.3)."""
+        pt = PageTable()
+        pt.map_page(0, PAGE_64K, frame_at(0), 0)
+        with pytest.raises(ValueError):
+            pt.map_page(100, PAGE_64K, frame_at(PAGE_64K), 0)
+
+    def test_frame_size_must_match(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.map_page(0, PAGE_64K, frame_at(0, size=PAGE_4K), 0)
+
+    def test_paddr_translation(self):
+        pt = PageTable()
+        record = pt.map_page(PAGE_64K, PAGE_64K, frame_at(0x30000), 0)
+        assert record.paddr_of(PAGE_64K + 0x123) == 0x30000 + 0x123
+        with pytest.raises(ValueError):
+            record.paddr_of(0)
+
+    def test_mixed_sizes_coexist(self):
+        pt = PageTable()
+        pt.map_page(0, PAGE_4K, frame_at(0x1000, PAGE_4K), 0)
+        pt.map_page(PAGE_64K, PAGE_64K, frame_at(PAGE_64K), 0)
+        assert pt.lookup(0).page_size == PAGE_4K
+        assert pt.lookup(PAGE_64K).page_size == PAGE_64K
+        assert set(pt.page_sizes_in_use()) == {PAGE_4K, PAGE_64K}
+
+    def test_unmap(self):
+        pt = PageTable()
+        pt.map_page(0, PAGE_64K, frame_at(0x50000), 0)
+        record = pt.unmap(100)
+        assert record.va_base == 0
+        assert pt.lookup(0) is None
+        with pytest.raises(PageFault):
+            pt.unmap(0)
+
+    def test_mappings_in_range(self):
+        pt = PageTable()
+        for i in range(4):
+            pt.map_page(i * PAGE_64K, PAGE_64K, frame_at(i * PAGE_64K), 0)
+        found = list(pt.mappings_in_range(PAGE_64K, 2 * PAGE_64K))
+        assert {r.va_base for r in found} == {PAGE_64K, 2 * PAGE_64K}
+
+    def test_resident_bytes(self):
+        pt = PageTable()
+        pt.map_page(0, PAGE_64K, frame_at(0x10000), 0)
+        pt.map_page(PAGE_64K, PAGE_64K, frame_at(0x20000), 0)
+        assert pt.resident_bytes() == 2 * PAGE_64K
+
+
+class TestRegions:
+    def test_region_validation(self):
+        with pytest.raises(ValueError):
+            Region(100, PAGE_2M, Frame(0, PAGE_2M, 0), PAGE_64K, "p")
+        with pytest.raises(ValueError):
+            Region(0, PAGE_64K, Frame(0, PAGE_2M, 0), PAGE_64K, "p")
+
+    def test_fill_tracking(self):
+        region = make_region()
+        pt = PageTable()
+        for i in range(5):
+            pt.map_page(
+                i * PAGE_64K,
+                PAGE_64K,
+                region.frame.subframe(i * PAGE_64K, PAGE_64K),
+                0,
+                region=region,
+            )
+        assert region.mapped == 5
+        assert not region.full
+
+    def test_contiguity_metadata(self):
+        region = make_region()
+        pt = PageTable()
+        record = pt.map_page(
+            PAGE_64K,
+            PAGE_64K,
+            region.frame.subframe(PAGE_64K, PAGE_64K),
+            0,
+            region=region,
+        )
+        assert record.contiguity_base == 0
+        assert record.contiguity_size == PAGE_2M
+
+    def test_contiguity_survives_release(self):
+        """Section 4.6: partially contiguous PTEs remain coalescable."""
+        region = make_region()
+        pt = PageTable()
+        record = pt.map_page(
+            0, PAGE_64K, region.frame.subframe(0, PAGE_64K), 0, region=region
+        )
+        region.released = True
+        assert record.contiguity_size == PAGE_2M
+
+    def test_no_region_means_single_page_contiguity(self):
+        pt = PageTable()
+        record = pt.map_page(0, PAGE_64K, frame_at(0x10000), 0)
+        assert record.contiguity_size == PAGE_64K
+
+
+class TestPromotion:
+    def _fill(self, pt, region, alloc_id=7):
+        for i in range(region.capacity):
+            pt.map_page(
+                region.va_base + i * region.page_size,
+                region.page_size,
+                region.frame.subframe(i * region.page_size, region.page_size),
+                alloc_id,
+                region=region,
+            )
+
+    def test_promote_full_region(self):
+        pt = PageTable()
+        region = make_region()
+        self._fill(pt, region)
+        promoted = pt.promote_region(region)
+        assert promoted.page_size == PAGE_2M
+        assert pt.lookup(PAGE_64K * 3) is promoted
+        assert promoted.alloc_id == 7
+        assert pt.promotions == 1
+        assert region.promoted
+
+    def test_promote_partial_rejected(self):
+        pt = PageTable()
+        region = make_region()
+        pt.map_page(
+            0, PAGE_64K, region.frame.subframe(0, PAGE_64K), 0, region=region
+        )
+        with pytest.raises(ValueError):
+            pt.promote_region(region)
+
+    def test_promote_intermediate_native_size(self):
+        pt = PageTable()
+        region = Region(0, 256 * 1024, Frame(0, 256 * 1024, 1), PAGE_64K, "p")
+        self._fill(pt, region)
+        promoted = pt.promote_region(region)
+        assert promoted.page_size == 256 * 1024
+
+    def test_double_promotion_rejected(self):
+        pt = PageTable()
+        region = make_region()
+        self._fill(pt, region)
+        pt.promote_region(region)
+        with pytest.raises(ValueError):
+            pt.promote_region(region)
+
+    def test_mapped_pages_count(self):
+        pt = PageTable()
+        region = make_region()
+        self._fill(pt, region)
+        assert pt.mapped_pages == 32
+        pt.promote_region(region)
+        assert pt.mapped_pages == 1
+
+
+class TestDemotion:
+    def test_demote_restores_base_pages(self):
+        pt = PageTable()
+        region = make_region()
+        for i in range(region.capacity):
+            pt.map_page(
+                i * PAGE_64K,
+                PAGE_64K,
+                region.frame.subframe(i * PAGE_64K, PAGE_64K),
+                5,
+                region=region,
+            )
+        pt.promote_region(region)
+        pt.demote_region(region)
+        record = pt.lookup(3 * PAGE_64K)
+        assert record.page_size == PAGE_64K
+        assert record.alloc_id == 5
+        # physical frames unchanged
+        assert record.paddr == region.frame.paddr + 3 * PAGE_64K
+        assert pt.demotions == 1
+        assert not region.promoted
+
+    def test_demote_unpromoted_rejected(self):
+        pt = PageTable()
+        with pytest.raises(ValueError):
+            pt.demote_region(make_region())

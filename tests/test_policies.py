@@ -1,0 +1,212 @@
+"""Tests for the baseline placement policies."""
+
+import pytest
+
+from repro.core.clap import ClapPolicy
+from repro.policies import (
+    BarreChordPolicy,
+    CNumaPolicy,
+    GritPolicy,
+    IdealPolicy,
+    MgvmPolicy,
+    SaStaticPolicy,
+    StaticPaging,
+)
+from repro.sim.runner import resolve_policy
+from repro.units import KB, MB, PAGE_2M, PAGE_4K, PAGE_64K
+
+from .conftest import contiguous, make_spec, partitioned, run, shared
+
+
+class TestStaticPaging:
+    def test_name_and_validation(self):
+        assert StaticPaging(PAGE_64K).name == "S-64KB"
+        assert StaticPaging(256 * KB).name == "S-256KB"
+        with pytest.raises(ValueError):
+            StaticPaging(3 * KB)
+        with pytest.raises(ValueError):
+            StaticPaging(4 * PAGE_2M)
+
+    def test_64kb_first_touch_keeps_partitioned_local(
+        self, small_partitioned_spec
+    ):
+        result = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        assert result.remote_ratio == 0.0
+
+    def test_2mb_misplaces_fine_groups(self, small_partitioned_spec):
+        result = run(small_partitioned_spec, StaticPaging(PAGE_2M))
+        assert result.remote_ratio > 0.5
+
+    def test_2mb_keeps_contiguous_local(self):
+        spec = make_spec(contiguous(size=16 * MB, waves=2, lines_per_touch=4))
+        result = run(spec, StaticPaging(PAGE_2M))
+        assert result.remote_ratio < 0.05
+
+    def test_4kb_pages_walk_more(self, small_partitioned_spec):
+        fine = run(small_partitioned_spec, StaticPaging(PAGE_4K))
+        base = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        assert fine.l2_tlb_mpki > base.l2_tlb_mpki
+
+    def test_larger_pages_reduce_tlb_misses(self, small_partitioned_spec):
+        base = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        large = run(small_partitioned_spec, StaticPaging(PAGE_2M))
+        assert large.l2_tlb_mpki < base.l2_tlb_mpki
+
+    def test_intermediate_native_size(self, small_partitioned_spec):
+        """A hypothetical native 256KB system: matches the group size ->
+        local placement *and* better TLB reach than 64KB."""
+        mid = run(small_partitioned_spec, StaticPaging(256 * KB))
+        base = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        assert mid.remote_ratio == 0.0
+        assert mid.l2_tlb_mpki < base.l2_tlb_mpki
+        assert mid.performance > base.performance
+
+
+class TestIdeal:
+    def test_bounds_static_configs(self, small_partitioned_spec):
+        ideal = run(small_partitioned_spec, IdealPolicy())
+        base = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        large = run(small_partitioned_spec, StaticPaging(PAGE_2M))
+        assert ideal.remote_ratio == 0.0  # fine placement
+        assert ideal.performance > base.performance
+        assert ideal.performance > large.performance
+
+
+class TestMgvm:
+    def test_cheaper_walks_than_static(self, small_partitioned_spec):
+        mgvm = run(small_partitioned_spec, MgvmPolicy())
+        base = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        assert mgvm.remote_ratio == base.remote_ratio
+        assert mgvm.translation_cycles < base.translation_cycles
+
+
+class TestBarreChord:
+    def test_interleaved_placement_is_locality_blind(
+        self, small_partitioned_spec
+    ):
+        barre = run(small_partitioned_spec, BarreChordPolicy())
+        assert barre.remote_ratio > 0.5
+
+    def test_pattern_coalescing_extends_reach(self, small_partitioned_spec):
+        barre = run(small_partitioned_spec, BarreChordPolicy())
+        base = run(small_partitioned_spec, StaticPaging(PAGE_2M))
+        # Both have ~0.75 remote; Barre walks less than a thrashing 64KB
+        # config would. Compare its TLB misses against plain 64KB with the
+        # same (bad) placement economics: use S-64KB as the reach floor.
+        plain = run(small_partitioned_spec, StaticPaging(PAGE_64K))
+        assert barre.l2_tlb_mpki < plain.l2_tlb_mpki
+
+
+class TestGrit:
+    def test_migrations_repair_misplacement(self):
+        # Noise misplaces some first touches; GRIT migrates them back.
+        spec = make_spec(
+            contiguous(size=16 * MB, noise=0.3, waves=4, lines_per_touch=4)
+        )
+        grit = run(spec, GritPolicy())
+        base = run(spec, StaticPaging(PAGE_64K))
+        assert grit.migrations > 0
+        assert grit.remote_ratio <= base.remote_ratio
+
+    def test_free_migration_not_charged(self):
+        spec = make_spec(
+            contiguous(size=16 * MB, noise=0.3, waves=4, lines_per_touch=4)
+        )
+        result = run(spec, GritPolicy())
+        assert result.migrations > 0
+        # free migrations contribute no cycles
+        assert result.cycles > 0
+
+
+class TestCNuma:
+    def test_reacts_to_remote_pressure_with_splits_and_migrations(
+        self, small_partitioned_spec
+    ):
+        policy = CNumaPolicy(intermediate=False)
+        result = run(small_partitioned_spec, policy)
+        # It shrank at least once and migrated misplaced pages; the final
+        # global size may have grown back (reactive oscillation is the
+        # behaviour the paper criticises), but the repairs land.
+        assert policy.size_changes >= 1
+        assert result.migrations > 0
+        assert result.remote_ratio < 0.3
+
+    def test_intermediate_variant_steps_gradually(
+        self, small_partitioned_spec
+    ):
+        plain = CNumaPolicy(intermediate=False)
+        stepped = CNumaPolicy(intermediate=True)
+        run(small_partitioned_spec, plain)
+        run(small_partitioned_spec, stepped)
+        # One-rung-at-a-time adaptation takes more size changes to cover
+        # the same ground ("requires additional time to converge").
+        assert stepped.size_changes > plain.size_changes
+
+    def test_stays_large_when_locality_is_coarse(self):
+        spec = make_spec(contiguous(size=16 * MB, waves=2, lines_per_touch=4))
+        policy = CNumaPolicy()
+        run(spec, policy)
+        assert policy.current_size == PAGE_2M
+
+    def test_repairs_beat_static_2mb_on_fine_locality(
+        self, small_partitioned_spec
+    ):
+        cnuma = run(small_partitioned_spec, CNumaPolicy())
+        static = run(small_partitioned_spec, StaticPaging(PAGE_2M))
+        assert cnuma.remote_ratio < static.remote_ratio
+
+    def test_names(self):
+        assert CNumaPolicy(False).name == "Ideal_C-NUMA"
+        assert CNumaPolicy(True).name == "Ideal_C-NUMA+inter"
+
+
+class TestSaStatic:
+    def test_places_at_predicted_owner_ignoring_requester(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, noise=0.4,
+                        waves=2, lines_per_touch=4)
+        )
+        # heavy noise would wreck first-touch; SA prediction is immune
+        sa = run(spec, SaStaticPolicy(PAGE_64K))
+        ft = run(spec, StaticPaging(PAGE_64K))
+        assert sa.remote_ratio < ft.remote_ratio
+
+    def test_large_pages_break_predicted_placement(self):
+        spec = make_spec(
+            partitioned(size=16 * MB, group=4, waves=2, lines_per_touch=4)
+        )
+        sa64 = run(spec, SaStaticPolicy(PAGE_64K))
+        sa2m = run(spec, SaStaticPolicy(PAGE_2M))
+        assert sa64.remote_ratio < 0.05
+        assert sa2m.remote_ratio > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SaStaticPolicy(PAGE_4K)
+
+
+class TestResolvePolicy:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("S-64KB", StaticPaging),
+            ("s-2mb", StaticPaging),
+            ("CLAP", ClapPolicy),
+            ("Ideal", IdealPolicy),
+            ("MGvm", MgvmPolicy),
+            ("F-Barre", BarreChordPolicy),
+            ("GRIT", GritPolicy),
+            ("Ideal_C-NUMA", CNumaPolicy),
+            ("Ideal_C-NUMA+inter", CNumaPolicy),
+        ],
+    )
+    def test_names_resolve(self, name, cls):
+        assert isinstance(resolve_policy(name), cls)
+
+    def test_instances_pass_through(self):
+        policy = StaticPaging(PAGE_64K)
+        assert resolve_policy(policy) is policy
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_policy("NOPE")

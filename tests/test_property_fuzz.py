@@ -1,0 +1,145 @@
+"""Property-based fuzzing of the VM layer against the invariant validator.
+
+Hypothesis drives random-but-valid operation sequences (mappings,
+reservations, releases, migrations) and random workload shapes through
+the stack; after every sequence the machine-state validator must hold.
+This is the class of test that catches frame double-allocation and
+region bookkeeping bugs that example-based tests miss.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import baseline_config
+from repro.core.clap import ClapPolicy
+from repro.sim.engine import run_simulation
+from repro.sim.machine import Machine
+from repro.sim.validation import validate_machine
+from repro.trace.workload import Pattern, StructureSpec, WorkloadSpec
+from repro.units import BLOCK_SIZE, MB, PAGE_2M, PAGE_64K, align_down
+
+
+# --- pager operation fuzzing -------------------------------------------
+
+class _PagerDriver:
+    """Applies abstract operations to a machine, tracking legality."""
+
+    def __init__(self) -> None:
+        self.machine = Machine(baseline_config())
+        self.alloc = self.machine.va_space.allocate("fuzz", 16 * MB)
+        self.pool = "fuzz"
+
+    def apply(self, op) -> None:
+        kind, page, chiplet = op
+        pager = self.machine.pager
+        vaddr = self.alloc.base + page * PAGE_64K
+        record = self.machine.page_table.lookup(vaddr)
+        if kind == "map":
+            if record is None and self._region_of(vaddr) is None:
+                pager.map_single(
+                    vaddr, PAGE_64K, chiplet, self.alloc.alloc_id, self.pool
+                )
+        elif kind == "reserve_map":
+            if record is None:
+                base = align_down(vaddr, 256 * 1024)
+                region = pager.region_at(base)
+                if region is None:
+                    try:
+                        region = pager.ensure_region(
+                            base, 256 * 1024, PAGE_64K, chiplet, self.pool
+                        )
+                    except ValueError:
+                        return  # released region: individual mapping only
+                pager.map_into_region(vaddr, region, self.alloc.alloc_id)
+        elif kind == "release":
+            base = align_down(vaddr, 256 * 1024)
+            region = pager.region_at(base)
+            if region is not None and not region.promoted:
+                pager.release_region(region)
+        elif kind == "migrate":
+            if record is not None and record.page_size == PAGE_64K:
+                if record.region is not None:
+                    record.region.released = True
+                pager.migrate_page(vaddr, chiplet, self.pool)
+
+    def _region_of(self, vaddr):
+        return self.machine.pager.region_at(align_down(vaddr, 256 * 1024))
+
+
+_operation = st.tuples(
+    st.sampled_from(["map", "reserve_map", "release", "migrate"]),
+    st.integers(min_value=0, max_value=255),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+@given(ops=st.lists(_operation, min_size=1, max_size=120))
+@settings(max_examples=60, deadline=None)
+def test_random_pager_sequences_preserve_invariants(ops):
+    driver = _PagerDriver()
+    for op in ops:
+        driver.apply(op)
+    validate_machine(driver.machine).raise_if_failed()
+
+
+# --- end-to-end CLAP fuzzing -------------------------------------------
+
+_pattern = st.sampled_from(
+    [Pattern.PARTITIONED, Pattern.CONTIGUOUS, Pattern.SHARED]
+)
+
+
+@st.composite
+def _random_spec(draw):
+    structures = []
+    for index in range(draw(st.integers(1, 3))):
+        pattern = draw(_pattern)
+        size_mb = draw(st.sampled_from([2, 4, 8, 12, 16]))
+        group = draw(st.sampled_from([1, 2, 4, 8, 32]))
+        noise = draw(st.sampled_from([0.0, 0.0, 0.1]))
+        structures.append(
+            StructureSpec(
+                f"s{index}",
+                size_mb * MB,
+                size_mb * MB,
+                pattern,
+                group_pages=group,
+                noise=noise if pattern is not Pattern.SHARED else 0.0,
+                waves=2,
+                lines_per_touch=4,
+            )
+        )
+    return WorkloadSpec(
+        abbr="FUZZ",
+        title="random workload",
+        structures=tuple(structures),
+        tb_count=64,
+        mem_fraction=0.3,
+    )
+
+
+@given(spec=_random_spec(), seed=st.integers(0, 50))
+@settings(max_examples=25, deadline=None)
+def test_clap_on_random_workloads(spec, seed):
+    """For any workload shape, CLAP must terminate with sane selections
+    and a consistent machine."""
+    result = run_simulation(spec, ClapPolicy(), seed=seed)
+    for name, selection in result.selections.items():
+        assert PAGE_64K <= selection.page_size <= PAGE_2M
+        assert selection.page_size & (selection.page_size - 1) == 0
+    assert 0.0 <= result.remote_ratio <= 1.0
+    assert result.page_faults > 0
+
+
+@given(seed=st.integers(0, 1000))
+@settings(max_examples=10, deadline=None)
+def test_table4_selection_stable_across_seeds(seed):
+    """The STE selection (the most size-sensitive Table 4 entry) must not
+    depend on the trace seed."""
+    from repro.trace.suite import workload_by_name
+
+    result = run_simulation(
+        workload_by_name("STE"), ClapPolicy(), seed=seed
+    )
+    assert result.selections["grid_in"].page_size == 256 * 1024

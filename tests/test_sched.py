@@ -1,0 +1,92 @@
+"""Tests for threadblock scheduling and the static-analysis oracle."""
+
+import numpy as np
+import pytest
+
+from repro.sched.static_analysis import StaticPlacementOracle
+from repro.sched.threadblock import ft_chiplet_of_tb, rr_chiplet_of_tb
+from repro.trace.workload import Pattern, StructureSpec, Workload, WorkloadSpec
+from repro.units import MB
+
+
+class TestFtScheduling:
+    def test_contiguous_ranges(self):
+        owners = [ft_chiplet_of_tb(i, 16, 4) for i in range(16)]
+        assert owners == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_uneven_tb_count(self):
+        owners = [ft_chiplet_of_tb(i, 10, 4) for i in range(10)]
+        assert owners[0] == 0
+        assert owners[-1] == 3
+        assert max(owners) == 3
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            ft_chiplet_of_tb(16, 16, 4)
+        with pytest.raises(ValueError):
+            ft_chiplet_of_tb(0, 16, 0)
+
+
+class TestRrScheduling:
+    def test_round_robin(self):
+        assert [rr_chiplet_of_tb(i, 8, 4) for i in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            rr_chiplet_of_tb(8, 8, 4)
+
+
+def make_workload():
+    spec = WorkloadSpec(
+        abbr="T",
+        title="test",
+        structures=(
+            StructureSpec("regular", 8 * MB, 8 * MB, Pattern.PARTITIONED,
+                          group_pages=2),
+            StructureSpec("shared", 8 * MB, 8 * MB, Pattern.SHARED),
+            StructureSpec("irregular", 16 * MB, 16 * MB, Pattern.CONTIGUOUS,
+                          noise=0.3, sa_predictable=False),
+        ),
+        tb_count=64,
+    )
+    return Workload(spec, num_chiplets=4)
+
+
+class TestOracle:
+    def test_predictable_structure_gets_exact_owners(self):
+        workload = make_workload()
+        oracle = StaticPlacementOracle(workload)
+        structure = workload.spec.structure("regular")
+        assert oracle.is_predictable(structure)
+        predicted = oracle.predicted_owner_map(structure)
+        truth = workload.owner_map(structure)
+        assert np.array_equal(predicted, truth)
+
+    def test_shared_structure_detected(self):
+        workload = make_workload()
+        oracle = StaticPlacementOracle(workload)
+        structure = workload.spec.structure("shared")
+        assert oracle.is_shared(structure)
+        assert not oracle.is_predictable(structure)
+
+    def test_irregular_gets_block_round_robin_guess(self):
+        workload = make_workload()
+        oracle = StaticPlacementOracle(workload)
+        structure = workload.spec.structure("irregular")
+        assert not oracle.is_predictable(structure)
+        predicted = oracle.predicted_owner_map(structure)
+        # 32-page blocks, round robin
+        assert list(predicted[:32]) == [0] * 32
+        assert list(predicted[32:64]) == [1] * 32
+        # ...and it differs from the ground truth (contiguous quarters).
+        truth = workload.owner_map(structure)
+        assert not np.array_equal(predicted, truth)
+
+    def test_predicted_owner_scalar_accessor(self):
+        workload = make_workload()
+        oracle = StaticPlacementOracle(workload)
+        structure = workload.spec.structure("regular")
+        assert oracle.predicted_owner(structure, 0) == 0
+        assert oracle.predicted_owner(structure, 2) == 1

@@ -1,0 +1,99 @@
+"""Tests for the Table 2 workload suite definitions."""
+
+import pytest
+
+from repro.trace.suite import (
+    LOW_PARALLELISM,
+    SUITE,
+    gemm_reuse_scenario,
+    workload_by_name,
+)
+from repro.trace.workload import Pattern, Scan, Workload
+from repro.units import GB, MB, PAGE_2M
+
+
+EXPECTED_ABBRS = [
+    "STE", "3DC", "LPS", "PAF", "SC", "BFS", "2DC", "FDT", "BLK",
+    "SSSP", "DWT", "LUD", "ViT", "RES50", "GPT3",
+]
+
+
+class TestSuiteContents:
+    def test_fifteen_workloads(self):
+        assert [w.abbr for w in SUITE] == EXPECTED_ABBRS
+
+    def test_lookup(self):
+        assert workload_by_name("STE").abbr == "STE"
+        with pytest.raises(KeyError):
+            workload_by_name("XXX")
+
+    def test_table2_metadata_carried(self):
+        """Paper-reported input sizes and TB counts (Table 2)."""
+        assert workload_by_name("LUD").total_paper_bytes == 4 * GB
+        assert workload_by_name("STE").tb_count == 1024
+        assert workload_by_name("SSSP").tb_count == 374178
+        assert workload_by_name("FDT").tb_count == 1048576
+
+    def test_low_parallelism_exclusions(self):
+        """3DC and SC have too few TBs for 8 chiplets (Figure 22)."""
+        assert set(LOW_PARALLELISM) == {"3DC", "SC"}
+        for abbr in LOW_PARALLELISM:
+            assert workload_by_name(abbr).tb_count <= 256
+
+    def test_gemm_workloads_have_shared_b(self):
+        for abbr in ("ViT", "RES50", "GPT3"):
+            spec = workload_by_name(abbr)
+            b = spec.structure("matrix_B")
+            assert b.pattern is Pattern.SHARED
+
+    def test_irregular_workloads_flagged_unpredictable(self):
+        for abbr, name in (("PAF", "wall"), ("SC", "points"),
+                           ("SSSP", "edges"), ("BFS", "frontier")):
+            structure = workload_by_name(abbr).structure(name)
+            assert not structure.sa_predictable
+            assert structure.noise > 0
+
+    def test_tiled_scans_present_where_paper_reports_olp(self):
+        assert workload_by_name("LUD").structure("matrix").scan is (
+            Scan.BLOCK_STRIDED
+        )
+        assert workload_by_name("GPT3").structure("matrix_A").scan is (
+            Scan.BLOCK_STRIDED
+        )
+
+    def test_every_workload_builds_and_traces(self):
+        for spec in SUITE:
+            workload = Workload(spec, 4)
+            trace = workload.build_trace(7)
+            assert len(trace) > 1000
+            assert trace.n_warp_instructions > len(trace)
+
+    def test_analyzable_structures_are_large_enough(self):
+        """Structures the paper reports as MMA-selected must span enough
+        2MB blocks for a full block at the 20% PMM threshold."""
+        mma_selected = {
+            ("STE", "grid_in"), ("LPS", "phi_in"), ("PAF", "wall"),
+            ("SC", "points"), ("BFS", "edges"), ("2DC", "img_in"),
+            ("SSSP", "edges"), ("ViT", "matrix_B"),
+        }
+        for abbr, name in mma_selected:
+            structure = workload_by_name(abbr).structure(name)
+            assert structure.sim_size >= 6 * PAGE_2M
+
+
+class TestGemmReuseScenario:
+    def test_two_kernels(self):
+        spec = gemm_reuse_scenario()
+        assert len(spec.effective_kernels) == 2
+
+    def test_cstar_reused_with_changed_pattern(self):
+        spec = gemm_reuse_scenario()
+        k2 = spec.effective_kernels[1]
+        reuse = next(u for u in k2.uses if u.name == "matrix_Cstar")
+        assert reuse.subset == 0.25
+        assert reuse.owner_shift != 0
+
+    def test_builds(self):
+        workload = Workload(gemm_reuse_scenario(), 4)
+        trace = workload.build_trace(7)
+        assert len(trace.kernel_starts) == 2

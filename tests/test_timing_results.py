@@ -1,0 +1,111 @@
+"""Tests for the timing model and result records."""
+
+import pytest
+
+from repro.arch.topology import RingTopology
+from repro.sim.results import SelectionInfo, SimResult
+from repro.sim.timing import CycleCounters, TimingParams, total_cycles
+from repro.units import PAGE_2M, PAGE_64K
+
+
+def make_result(**overrides):
+    defaults = dict(
+        workload="W",
+        policy="P",
+        cycles=1000.0,
+        n_accesses=100,
+        n_warp_instructions=400,
+        remote_accesses=25,
+        translation_cycles=2000,
+        data_cycles=8000,
+        l2_misses=40,
+        l2_tlb_misses=10,
+        page_faults=16,
+        migrations=0,
+        blocks_consumed=4,
+    )
+    defaults.update(overrides)
+    return SimResult(**defaults)
+
+
+class TestTiming:
+    def test_base_composition(self):
+        ring = RingTopology(4)
+        counters = CycleCounters(
+            n_accesses=100,
+            n_warp_instructions=1000,
+            translation_cycles=1200,
+            data_cycles=2400,
+        )
+        params = TimingParams(
+            data_overlap=24.0, translation_overlap=12.0,
+        )
+        cycles = total_cycles(counters, ring, params)
+        assert cycles == pytest.approx(1000 + 100 + 100)
+
+    def test_remote_transfers_add_bandwidth_cycles(self):
+        ring = RingTopology(4)
+        base = CycleCounters(n_warp_instructions=1000)
+        loaded = CycleCounters(n_warp_instructions=1000, remote_accesses=100)
+        params = TimingParams(bandwidth_cycles_per_remote=6.0)
+        assert total_cycles(loaded, ring, params) > total_cycles(
+            base, ring, params
+        )
+
+    def test_larger_ring_charges_more_per_transfer(self):
+        counters = CycleCounters(
+            n_warp_instructions=1000, remote_accesses=100
+        )
+        small = total_cycles(counters, RingTopology(4))
+        large = total_cycles(counters, RingTopology(8))
+        assert large > small
+
+    def test_migration_cycles_additive(self):
+        ring = RingTopology(4)
+        counters = CycleCounters(
+            n_warp_instructions=1000, migration_cycles=500
+        )
+        assert total_cycles(counters, ring) == pytest.approx(1500)
+
+    def test_translation_serializes_harder_than_data(self):
+        ring = RingTopology(4)
+        params = TimingParams()
+        trans = CycleCounters(n_warp_instructions=0, translation_cycles=1200)
+        data = CycleCounters(n_warp_instructions=0, data_cycles=1200)
+        assert total_cycles(trans, ring, params) > total_cycles(
+            data, ring, params
+        )
+
+
+class TestSimResult:
+    def test_derived_metrics(self):
+        result = make_result()
+        assert result.performance == pytest.approx(0.4)
+        assert result.remote_ratio == pytest.approx(0.25)
+        assert result.l2_mpki == pytest.approx(100.0)
+        assert result.l2_tlb_mpki == pytest.approx(25.0)
+        assert result.avg_translation_cycles == pytest.approx(20.0)
+
+    def test_speedup(self):
+        fast = make_result(cycles=500.0)
+        slow = make_result(cycles=1000.0)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_speedup_requires_same_workload(self):
+        with pytest.raises(ValueError):
+            make_result().speedup_over(make_result(workload="other"))
+
+    def test_zero_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            make_result(cycles=0.0).performance
+
+    def test_structure_remote_ratio(self):
+        result = make_result(per_structure_remote={"a": (10, 4)})
+        assert result.structure_remote_ratio("a") == pytest.approx(0.4)
+        assert result.structure_remote_ratio("missing") == 0.0
+
+
+class TestSelectionInfo:
+    def test_labels(self):
+        assert SelectionInfo(PAGE_64K).label == "64KB"
+        assert SelectionInfo(PAGE_2M, via_olp=True).label == "2MB*"

@@ -1,0 +1,120 @@
+"""Tests for the set-associative TLB and coalesced entries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tlb.tlb import SetAssociativeTLB, TLBEntry
+from repro.units import PAGE_64K
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        tlb = SetAssociativeTLB(entries=4)
+        assert not tlb.lookup(0)
+        tlb.insert(0, PAGE_64K, 1)
+        assert tlb.lookup(0)
+        assert tlb.hits == 1
+        assert tlb.misses == 1
+
+    def test_lru_eviction_fully_associative(self):
+        tlb = SetAssociativeTLB(entries=2)
+        tlb.insert(0, PAGE_64K, 1)
+        tlb.insert(PAGE_64K, PAGE_64K, 1)
+        tlb.lookup(0)  # refresh tag 0
+        tlb.insert(2 * PAGE_64K, PAGE_64K, 1)  # evicts tag 64K (LRU)
+        assert tlb.lookup(0)
+        assert not tlb.lookup(PAGE_64K)
+        assert tlb.lookup(2 * PAGE_64K)
+
+    def test_set_conflicts(self):
+        tlb = SetAssociativeTLB(entries=4, ways=2, index_granule=PAGE_64K)
+        # tags mapping to the same set (stride = num_sets * granule)
+        stride = tlb.num_sets * PAGE_64K
+        tlb.insert(0, PAGE_64K, 1)
+        tlb.insert(stride, PAGE_64K, 1)
+        tlb.insert(2 * stride, PAGE_64K, 1)  # evicts tag 0
+        assert not tlb.lookup(0)
+        assert tlb.lookup(stride)
+
+    def test_occupancy_never_exceeds_capacity(self):
+        tlb = SetAssociativeTLB(entries=8, ways=2)
+        for i in range(100):
+            tlb.insert(i * PAGE_64K, PAGE_64K, 1)
+        assert tlb.occupancy <= 8
+
+    def test_invalidate(self):
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, PAGE_64K, 1)
+        assert tlb.invalidate(0)
+        assert not tlb.invalidate(0)
+        assert not tlb.lookup(0)
+
+    def test_flush(self):
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, PAGE_64K, 1)
+        tlb.flush()
+        assert tlb.occupancy == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(entries=0)
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(entries=6, ways=4)
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(entries=4, index_granule=3)
+        with pytest.raises(ValueError):
+            SetAssociativeTLB(entries=4).insert(0, PAGE_64K, 0)
+
+
+class TestCoalescedEntries:
+    def test_valid_bits_gate_hits(self):
+        """An entry covering 16 pages hits only pages with set bits."""
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, 16 * PAGE_64K, valid_mask=0b0101)
+        assert tlb.lookup(0, page_bit=0)
+        assert not tlb.lookup(0, page_bit=1)
+        assert tlb.lookup(0, page_bit=2)
+        assert not tlb.lookup(0, page_bit=15)
+
+    def test_merge_ors_valid_bits(self):
+        """A later walk merges new valid bits into the existing entry."""
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, 16 * PAGE_64K, 0b0001)
+        tlb.insert(0, 16 * PAGE_64K, 0b0100)
+        assert tlb.lookup(0, 0)
+        assert tlb.lookup(0, 2)
+        assert tlb.coalesced_merges == 1
+        assert tlb.occupancy == 1  # still a single entry
+
+    def test_shape_change_replaces_entry(self):
+        """Promotion to a native page replaces the coalesced entry."""
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, 16 * PAGE_64K, 0b1)
+        tlb.insert(0, 2 * 1024 * 1024, 0b1)
+        assert tlb.occupancy == 1
+
+    def test_hit_rate(self):
+        tlb = SetAssociativeTLB(entries=4)
+        tlb.insert(0, PAGE_64K, 1)
+        tlb.lookup(0)
+        tlb.lookup(PAGE_64K)
+        assert tlb.hit_rate == 0.5
+        tlb.reset_stats()
+        assert tlb.accesses == 0
+
+
+@given(
+    tags=st.lists(
+        st.integers(min_value=0, max_value=63), min_size=1, max_size=200
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_capacity_invariant(tags):
+    """Under any insert stream, occupancy stays within capacity and a
+    just-inserted entry is immediately visible."""
+    tlb = SetAssociativeTLB(entries=8, ways=4)
+    for tag in tags:
+        tlb.insert(tag * PAGE_64K, PAGE_64K, 1)
+        assert tlb.occupancy <= 8
+        assert tlb.lookup(tag * PAGE_64K)

@@ -1,0 +1,95 @@
+"""Tests for the ring interconnect model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.arch.topology import RingTopology
+
+
+@pytest.fixture
+def ring():
+    return RingTopology(num_chiplets=4, hop_cycles=36)
+
+
+class TestHops:
+    def test_local_is_zero(self, ring):
+        assert ring.hops(2, 2) == 0
+        assert ring.latency(2, 2) == 0
+
+    def test_neighbours_one_hop(self, ring):
+        assert ring.hops(0, 1) == 1
+        assert ring.hops(0, 3) == 1  # wraps the other way
+
+    def test_opposite_two_hops(self, ring):
+        assert ring.hops(0, 2) == 2
+
+    def test_latency_scales_with_hops(self, ring):
+        assert ring.latency(0, 2) == 72
+        assert ring.latency(0, 1) == 36
+
+    @given(
+        st.integers(min_value=0, max_value=7),
+        st.integers(min_value=0, max_value=7),
+    )
+    def test_symmetry_on_8_ring(self, src, dst):
+        ring = RingTopology(num_chiplets=8)
+        assert ring.hops(src, dst) == ring.hops(dst, src)
+        assert ring.hops(src, dst) <= 4
+
+    def test_out_of_range_rejected(self, ring):
+        with pytest.raises(ValueError):
+            ring.hops(0, 4)
+
+
+class TestMeanDistance:
+    def test_four_ring(self, ring):
+        assert ring.mean_distance == pytest.approx(4 / 3)
+
+    def test_eight_ring_is_longer(self):
+        assert RingTopology(8).mean_distance > RingTopology(4).mean_distance
+
+    def test_single_chiplet(self):
+        assert RingTopology(1).mean_distance == 0.0
+
+
+class TestTraffic:
+    def test_local_transfers_not_recorded(self, ring):
+        ring.record_transfer(1, 1, 4096)
+        assert ring.total_bytes == 0
+
+    def test_accounting(self, ring):
+        ring.record_transfer(0, 2, 128)
+        ring.record_transfer(0, 2, 128)
+        ring.record_transfer(2, 0, 64)
+        assert ring.total_bytes == 320
+        assert ring.traffic_bytes[(0, 2)] == 256
+
+    def test_reset(self, ring):
+        ring.record_transfer(0, 1, 128)
+        ring.reset_traffic()
+        assert ring.total_bytes == 0
+        assert not ring.traffic_bytes
+
+    def test_negative_rejected(self, ring):
+        with pytest.raises(ValueError):
+            ring.record_transfer(0, 1, -1)
+
+
+class TestQueuing:
+    def test_zero_utilisation_no_delay(self, ring):
+        assert ring.queuing_delay(0.0) == 0.0
+
+    def test_delay_grows_with_utilisation(self, ring):
+        assert ring.queuing_delay(0.8) > ring.queuing_delay(0.4) > 0
+
+    def test_clamped_below_saturation(self, ring):
+        assert ring.queuing_delay(5.0) == ring.queuing_delay(0.95)
+
+    def test_negative_rejected(self, ring):
+        with pytest.raises(ValueError):
+            ring.queuing_delay(-0.1)
+
+    def test_bytes_per_cycle(self, ring):
+        # 768 GB/s at 1132 MHz
+        assert ring.bytes_per_cycle == pytest.approx(678.4, rel=0.01)

@@ -1,0 +1,61 @@
+"""Tests for trace serialization."""
+
+import numpy as np
+import pytest
+
+from repro.policies import StaticPaging
+from repro.sim.engine import run_simulation
+from repro.trace.io import load_trace, save_trace
+from repro.trace.workload import Workload
+from repro.units import MB, PAGE_64K
+
+from .conftest import make_spec, partitioned
+
+
+@pytest.fixture
+def trace():
+    spec = make_spec(
+        partitioned(size=8 * MB, group=2, waves=2, lines_per_touch=4)
+    )
+    return Workload(spec, 4).build_trace(7)
+
+
+class TestRoundTrip:
+    def test_arrays_identical(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.chiplets, trace.chiplets)
+        assert np.array_equal(loaded.vaddrs, trace.vaddrs)
+        assert np.array_equal(loaded.alloc_ids, trace.alloc_ids)
+        assert loaded.kernel_starts == trace.kernel_starts
+        assert loaded.n_warp_instructions == trace.n_warp_instructions
+
+    def test_loaded_trace_drives_identical_simulation(self, tmp_path):
+        spec = make_spec(
+            partitioned(size=8 * MB, group=2, waves=2, lines_per_touch=4)
+        )
+        direct = run_simulation(spec, StaticPaging(PAGE_64K), seed=7)
+
+        workload = Workload(spec, 4)
+        path = tmp_path / "trace.npz"
+        save_trace(workload.build_trace(7), path)
+        replayed = run_simulation(
+            spec, StaticPaging(PAGE_64K), seed=7, trace=load_trace(path)
+        )
+        assert replayed.cycles == direct.cycles
+        assert replayed.remote_accesses == direct.remote_accesses
+
+    def test_version_check(self, trace, tmp_path):
+        path = tmp_path / "trace.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(99),
+            chiplets=trace.chiplets,
+            vaddrs=trace.vaddrs,
+            alloc_ids=trace.alloc_ids,
+            kernel_starts=np.asarray([0]),
+            n_warp_instructions=np.int64(1),
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)

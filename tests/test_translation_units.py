@@ -1,0 +1,135 @@
+"""Tests for translation-unit derivation and valid-mask computation."""
+
+import pytest
+
+from repro.mem.frames import Frame
+from repro.tlb.units import (
+    COALESCE_WINDOW_PAGES,
+    TranslationUnit,
+    UnitKind,
+    unit_for,
+    valid_mask_for,
+)
+from repro.units import PAGE_2M, PAGE_64K
+from repro.vm.page_table import PageTable, Region
+
+
+def build_region_pages(pt, va_base, region_size, count, chiplet=0):
+    """Map ``count`` base pages into a reservation of ``region_size``."""
+    region = Region(
+        va_base=va_base,
+        size=region_size,
+        frame=Frame(0x10000000, region_size, chiplet),
+        page_size=PAGE_64K,
+        pool="p",
+    )
+    records = []
+    for i in range(count):
+        records.append(
+            pt.map_page(
+                va_base + i * PAGE_64K,
+                PAGE_64K,
+                region.frame.subframe(i * PAGE_64K, PAGE_64K),
+                alloc_id=0,
+                region=region,
+            )
+        )
+    return region, records
+
+
+class TestNativeUnits:
+    def test_plain_base_page(self):
+        pt = PageTable()
+        record = pt.map_page(0, PAGE_64K, Frame(0x20000, PAGE_64K, 0), 0)
+        unit = unit_for(100, record)
+        assert unit.kind is UnitKind.NATIVE
+        assert unit.tag == 0
+        assert unit.coverage == PAGE_64K
+        assert valid_mask_for(unit, record, pt) == 1
+
+    def test_region_page_without_coalescing_hw_is_native(self):
+        pt = PageTable()
+        _, records = build_region_pages(pt, 0, 256 * 1024, 4)
+        unit = unit_for(0, records[0], coalescing=False)
+        assert unit.kind is UnitKind.NATIVE
+        assert unit.coverage == PAGE_64K
+
+    def test_promoted_2mb_page(self):
+        pt = PageTable()
+        region, _ = build_region_pages(pt, 0, PAGE_2M, 32)
+        promoted = pt.promote_region(region)
+        unit = unit_for(5 * PAGE_64K, promoted, coalescing=True)
+        assert unit.kind is UnitKind.NATIVE
+        assert unit.coverage == PAGE_2M
+        assert unit.size_class == PAGE_2M
+
+
+class TestCoalescedUnits:
+    def test_group_of_four(self):
+        pt = PageTable()
+        _, records = build_region_pages(pt, 0, 256 * 1024, 4)
+        unit = unit_for(3 * PAGE_64K, records[3], coalescing=True)
+        assert unit.kind is UnitKind.COALESCED
+        assert unit.tag == 0
+        assert unit.coverage == 256 * 1024
+        assert unit.page_bit == 3
+        assert valid_mask_for(unit, records[3], pt) == 0b1111
+
+    def test_partial_group_mask(self):
+        pt = PageTable()
+        _, records = build_region_pages(pt, 0, 256 * 1024, 2)
+        unit = unit_for(PAGE_64K, records[1], coalescing=True)
+        assert valid_mask_for(unit, records[1], pt) == 0b0011
+
+    def test_window_caps_at_sixteen_pages(self):
+        """A 2MB unpromoted group splits into 1MB coalescing windows."""
+        pt = PageTable()
+        _, records = build_region_pages(pt, 0, PAGE_2M, 20)
+        unit = unit_for(17 * PAGE_64K, records[17], coalescing=True)
+        assert unit.coverage == COALESCE_WINDOW_PAGES * PAGE_64K
+        assert unit.tag == 16 * PAGE_64K
+        assert unit.page_bit == 1
+        mask = valid_mask_for(unit, records[17], pt)
+        assert mask == 0b1111  # pages 16..19 mapped
+
+    def test_foreign_region_pages_excluded_from_mask(self):
+        """Only pages of the same reservation are physically contiguous."""
+        pt = PageTable()
+        _, records = build_region_pages(pt, 0, 128 * 1024, 2)
+        # A neighbouring page mapped individually (no region).
+        pt.map_page(
+            2 * PAGE_64K, PAGE_64K, Frame(0x40000000, PAGE_64K, 1), 0
+        )
+        unit = unit_for(0, records[0], coalescing=True)
+        assert unit.coverage == 128 * 1024
+        assert valid_mask_for(unit, records[0], pt) == 0b11
+
+
+class TestPatternUnits:
+    def test_interleaved_pages_coalesce_by_pattern(self):
+        pt = PageTable()
+        records = []
+        for i in range(16):
+            records.append(
+                pt.map_page(
+                    i * PAGE_64K,
+                    PAGE_64K,
+                    Frame((100 + i * 7) * PAGE_64K, PAGE_64K, i % 4),
+                    0,
+                )
+            )
+        unit = unit_for(5 * PAGE_64K, records[5], pattern_coalescing=True)
+        assert unit.kind is UnitKind.PATTERN
+        assert unit.coverage == 16 * PAGE_64K
+        assert unit.page_bit == 5
+        assert valid_mask_for(unit, records[5], pt) == 0xFFFF
+
+
+class TestIdealUnits:
+    def test_free_2mb_reach(self):
+        pt = PageTable()
+        record = pt.map_page(0, PAGE_64K, Frame(0x20000, PAGE_64K, 0), 0)
+        unit = unit_for(100, record, ideal=True)
+        assert unit.kind is UnitKind.IDEAL
+        assert unit.coverage == PAGE_2M
+        assert valid_mask_for(unit, record, pt) == 1

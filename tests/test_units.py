@@ -1,0 +1,139 @@
+"""Unit tests for repro.units: sizes, alignment, labels."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    BLOCK_SIZE,
+    CLAP_SELECTABLE_SIZES,
+    KB,
+    MB,
+    GB,
+    NATIVE_PAGE_SIZES,
+    PAGE_2M,
+    PAGE_4K,
+    PAGE_64K,
+    PAGES_PER_BLOCK,
+    PTES_PER_LINE,
+    SWEEP_PAGE_SIZES,
+    align_down,
+    align_up,
+    is_pow2,
+    pages_in,
+    parse_size,
+    size_label,
+)
+
+
+class TestConstants:
+    def test_page_sizes(self):
+        assert PAGE_4K == 4096
+        assert PAGE_64K == 65536
+        assert PAGE_2M == 2 * MB
+
+    def test_block_holds_32_base_pages(self):
+        assert PAGES_PER_BLOCK == 32
+        assert BLOCK_SIZE == PAGE_2M
+
+    def test_native_sizes_are_the_system_supported_ones(self):
+        assert NATIVE_PAGE_SIZES == (PAGE_4K, PAGE_64K, PAGE_2M)
+
+    def test_sweep_includes_intermediates(self):
+        assert 128 * KB in SWEEP_PAGE_SIZES
+        assert 1 * MB in SWEEP_PAGE_SIZES
+        assert list(SWEEP_PAGE_SIZES) == sorted(SWEEP_PAGE_SIZES)
+
+    def test_clap_selectable_are_tree_levels(self):
+        assert CLAP_SELECTABLE_SIZES[0] == PAGE_64K
+        assert CLAP_SELECTABLE_SIZES[-1] == PAGE_2M
+        for small, big in zip(CLAP_SELECTABLE_SIZES, CLAP_SELECTABLE_SIZES[1:]):
+            assert big == 2 * small
+
+    def test_sixteen_ptes_per_cache_line(self):
+        assert PTES_PER_LINE == 16
+
+
+class TestIsPow2:
+    @pytest.mark.parametrize("value", [1, 2, 4, 65536, 1 << 40])
+    def test_powers(self, value):
+        assert is_pow2(value)
+
+    @pytest.mark.parametrize("value", [0, -2, 3, 6, 65535])
+    def test_non_powers(self, value):
+        assert not is_pow2(value)
+
+
+class TestPagesIn:
+    def test_exact(self):
+        assert pages_in(128 * KB, PAGE_64K) == 2
+
+    def test_rounds_up(self):
+        assert pages_in(65537, PAGE_64K) == 2
+
+    def test_zero(self):
+        assert pages_in(0) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_in(-1)
+
+
+class TestAlign:
+    def test_align_down(self):
+        assert align_down(0x12345, 0x1000) == 0x12000
+
+    def test_align_up(self):
+        assert align_up(0x12345, 0x1000) == 0x13000
+
+    def test_align_up_exact_is_identity(self):
+        assert align_up(0x4000, 0x1000) == 0x4000
+
+    def test_non_pow2_alignment_rejected(self):
+        with pytest.raises(ValueError):
+            align_down(10, 3)
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+
+    @given(st.integers(min_value=0, max_value=1 << 48),
+           st.sampled_from([4096, 65536, 2 * MB]))
+    def test_properties(self, value, alignment):
+        down = align_down(value, alignment)
+        up = align_up(value, alignment)
+        assert down % alignment == 0
+        assert up % alignment == 0
+        assert down <= value <= up
+        assert up - down in (0, alignment)
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "size,label",
+        [
+            (PAGE_4K, "4KB"),
+            (PAGE_64K, "64KB"),
+            (256 * KB, "256KB"),
+            (PAGE_2M, "2MB"),
+            (1 * GB, "1GB"),
+            (100, "100B"),
+        ],
+    )
+    def test_size_label(self, size, label):
+        assert size_label(size) == label
+
+    @pytest.mark.parametrize("label", ["4KB", "64KB", "128KB", "2MB", "1GB"])
+    def test_roundtrip(self, label):
+        assert size_label(parse_size(label)) == label
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_size("64kb") == PAGE_64K
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_size("big")
+        with pytest.raises(ValueError):
+            parse_size("KB")
+
+    @given(st.integers(min_value=1, max_value=4096))
+    def test_parse_label_roundtrip_kb(self, n):
+        assert parse_size(f"{n}KB") == n * KB

@@ -1,0 +1,80 @@
+"""Tests for the VA space: allocations and VA-block size assignment."""
+
+import pytest
+
+from repro.units import BLOCK_SIZE, MB, PAGE_64K
+from repro.vm.va_space import Allocation, VASpace
+
+
+@pytest.fixture
+def space():
+    return VASpace()
+
+
+class TestAllocation:
+    def test_alignment_and_ids(self, space):
+        a = space.allocate("a", 5 * MB)
+        b = space.allocate("b", 1 * MB)
+        assert a.base % BLOCK_SIZE == 0
+        assert b.base % BLOCK_SIZE == 0
+        assert (a.alloc_id, b.alloc_id) == (0, 1)
+
+    def test_guard_gap_between_allocations(self, space):
+        a = space.allocate("a", 2 * MB)
+        b = space.allocate("b", 2 * MB)
+        assert b.base >= a.end + VASpace.GUARD
+
+    def test_contains_and_find(self, space):
+        a = space.allocate("a", 4 * MB)
+        assert a.contains(a.base)
+        assert a.contains(a.end - 1)
+        assert not a.contains(a.end)
+        assert space.find(a.base + 100) is a
+        assert space.find(a.end + 1) is None
+
+    def test_block_geometry(self, space):
+        a = space.allocate("a", 5 * MB)
+        assert a.num_blocks == 3
+        assert a.block_base(0) == a.base
+        assert a.block_base(2) == a.base + 2 * BLOCK_SIZE
+        assert a.block_size(0) == BLOCK_SIZE
+        assert a.block_size(2) == 1 * MB  # trailing partial block
+
+    def test_block_index_of_vaddr(self, space):
+        a = space.allocate("a", 4 * MB)
+        assert a.block_index(a.base) == 0
+        assert a.block_index(a.base + BLOCK_SIZE + 5) == 1
+        with pytest.raises(ValueError):
+            a.block_index(a.end)
+
+    def test_invalid_constructions(self):
+        with pytest.raises(ValueError):
+            Allocation(0, "x", base=100, size=MB)  # unaligned
+        with pytest.raises(ValueError):
+            Allocation(0, "x", base=0, size=0)
+
+    def test_by_id_and_iteration(self, space):
+        a = space.allocate("a", MB)
+        b = space.allocate("b", MB)
+        assert space.by_id(1) is b
+        assert list(space) == [a, b]
+        assert len(space) == 2
+
+
+class TestBlockPageSize:
+    def test_assign_and_query(self, space):
+        a = space.allocate("a", 4 * MB)
+        space.assign_block_page_size(a.base, PAGE_64K)
+        assert space.block_page_size(a.base) == PAGE_64K
+        assert space.block_page_size(a.base + BLOCK_SIZE) is None
+
+    def test_reassign_same_size_ok(self, space):
+        a = space.allocate("a", 4 * MB)
+        space.assign_block_page_size(a.base, PAGE_64K)
+        space.assign_block_page_size(a.base + 100, PAGE_64K)
+
+    def test_conflicting_reassignment_rejected(self, space):
+        a = space.allocate("a", 4 * MB)
+        space.assign_block_page_size(a.base, PAGE_64K)
+        with pytest.raises(ValueError):
+            space.assign_block_page_size(a.base, 256 * 1024)

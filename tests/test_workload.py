@@ -1,0 +1,118 @@
+"""Tests for workload specs, ownership patterns and binding."""
+
+import pytest
+
+from repro.trace.workload import (
+    KernelSpec,
+    Pattern,
+    Scan,
+    StructureSpec,
+    StructureUsage,
+    Workload,
+    WorkloadSpec,
+)
+from repro.units import KB, MB, PAGE_64K
+
+
+def struct(name="s", size=8 * MB, pattern=Pattern.PARTITIONED, **kw):
+    return StructureSpec(name, size, size, pattern, **kw)
+
+
+class TestSpecValidation:
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            StructureSpec("x", MB, 1000, Pattern.SHARED)
+
+    def test_group_pages(self):
+        with pytest.raises(ValueError):
+            struct(group_pages=0)
+
+    def test_noise_bounds(self):
+        with pytest.raises(ValueError):
+            struct(noise=1.5)
+
+    def test_workload_needs_structures(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("X", "x", (), tb_count=1)
+
+    def test_duplicate_structure_names_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("X", "x", (struct(), struct()), tb_count=1)
+
+    def test_mem_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec("X", "x", (struct(),), tb_count=1, mem_fraction=0)
+
+    def test_usage_subset_bounds(self):
+        with pytest.raises(ValueError):
+            StructureUsage("s", subset=0.0)
+
+    def test_structure_lookup(self):
+        spec = WorkloadSpec("X", "x", (struct("a"), struct("b")), tb_count=1)
+        assert spec.structure("b").name == "b"
+        with pytest.raises(KeyError):
+            spec.structure("c")
+
+    def test_default_kernel_uses_everything(self):
+        spec = WorkloadSpec("X", "x", (struct("a"), struct("b")), tb_count=1)
+        (kernel,) = spec.effective_kernels
+        assert [u.name for u in kernel.uses] == ["a", "b"]
+
+    def test_explicit_kernels_preserved(self):
+        kernels = (KernelSpec("k1", (StructureUsage("a"),)),)
+        spec = WorkloadSpec(
+            "X", "x", (struct("a"),), tb_count=1, kernels=kernels
+        )
+        assert spec.effective_kernels == kernels
+
+    def test_totals(self):
+        spec = WorkloadSpec("X", "x", (struct("a"), struct("b")), tb_count=1)
+        assert spec.total_sim_bytes == 16 * MB
+
+
+class TestOwnership:
+    def _bind(self, structure):
+        spec = WorkloadSpec("X", "x", (structure,), tb_count=16)
+        return Workload(spec, num_chiplets=4)
+
+    def test_partitioned_round_robin_runs(self):
+        workload = self._bind(struct(group_pages=4))
+        owners = [
+            workload.owner_of_page(workload.spec.structures[0], p)
+            for p in range(16)
+        ]
+        assert owners == [0] * 4 + [1] * 4 + [2] * 4 + [3] * 4
+
+    def test_contiguous_quarters(self):
+        structure = struct(pattern=Pattern.CONTIGUOUS)
+        workload = self._bind(structure)
+        pages = structure.num_pages
+        owners = [workload.owner_of_page(structure, p) for p in range(pages)]
+        assert owners[0] == 0
+        assert owners[-1] == 3
+        assert owners == sorted(owners)
+
+    def test_shared_owner_is_none(self):
+        structure = struct(pattern=Pattern.SHARED)
+        workload = self._bind(structure)
+        assert workload.owner_of_page(structure, 0) is None
+
+    def test_shared_owner_map_is_stable_draw(self):
+        structure = struct(pattern=Pattern.SHARED)
+        workload = self._bind(structure)
+        first = workload.owner_map(structure)
+        second = workload.owner_map(structure)
+        assert first is second
+        assert set(first.tolist()) <= {0, 1, 2, 3}
+
+    def test_owner_map_matches_owner_of_page(self):
+        structure = struct(group_pages=2)
+        workload = self._bind(structure)
+        owners = workload.owner_map(structure)
+        for page in range(structure.num_pages):
+            assert owners[page] == workload.owner_of_page(structure, page)
+
+    def test_allocations_are_registered(self):
+        workload = self._bind(struct("data"))
+        assert "data" in workload.allocations
+        assert workload.allocations["data"].size == 8 * MB
