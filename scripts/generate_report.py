@@ -1,6 +1,14 @@
 #!/usr/bin/env python
-"""Run every experiment and dump the measured numbers for EXPERIMENTS.md."""
+"""Run every experiment and dump the measured numbers for EXPERIMENTS.md.
 
+Sweep-style experiments go through the parallel runner: ``--jobs``
+(default ``REPRO_JOBS`` or the CPU count) fans simulations out across
+processes, and repeated runs reuse the content-addressed result cache
+(``REPRO_CACHE_DIR`` or ``~/.cache/repro``; disable with ``--no-cache``).
+"""
+
+import argparse
+import inspect
 import json
 import time
 
@@ -19,6 +27,7 @@ from repro.experiments import (
     table2_workloads,
     table4_selected_sizes,
 )
+from repro.sim.parallel import SweepRunner
 
 MODULES = [
     fig01_page_size_intro,
@@ -38,10 +47,24 @@ MODULES = [
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--no-cache", action="store_true")
+    parser.add_argument(
+        "--output", default="experiment_report.json",
+        help="where to write the summary JSON",
+    )
+    args = parser.parse_args()
+
+    runner = SweepRunner(jobs=args.jobs, use_cache=not args.no_cache)
     report = {}
     for module in MODULES:
+        kwargs = {"quick": args.quick}
+        if "runner" in inspect.signature(module.run).parameters:
+            kwargs["runner"] = runner
         start = time.time()
-        result = module.run()
+        result = module.run(**kwargs)
         elapsed = time.time() - start
         report[result.experiment] = {
             "summary": result.summary,
@@ -50,7 +73,8 @@ def main() -> None:
         print(f"=== {result.experiment} ({elapsed:.1f}s)")
         print(result.format())
         print()
-    with open("experiment_report.json", "w") as fh:
+    print(runner.summary_line())
+    with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
 
 

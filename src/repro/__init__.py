@@ -28,6 +28,7 @@ from .policies import (
 )
 from .sim.energy import EnergyBreakdown, EnergyParams, energy_report
 from .sim.engine import run_simulation
+from .sim.parallel import ResultCache, SweepCell, SweepRunner
 from .sim.results import SimResult
 from .sim.runner import run_workload
 from .sim.validation import validate_machine
@@ -56,6 +57,9 @@ __all__ = [
     "SaStaticPolicy",
     "run_simulation",
     "run_workload",
+    "SweepRunner",
+    "SweepCell",
+    "ResultCache",
     "SimResult",
     "EnergyBreakdown",
     "EnergyParams",

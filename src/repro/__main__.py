@@ -4,22 +4,34 @@ Sub-commands::
 
     python -m repro run STE --policy CLAP --policy S-64KB
     python -m repro sweep LPS
-    python -m repro experiment fig18 --quick
+    python -m repro experiment fig18 --quick --jobs 4
+    python -m repro report --quick --jobs 4
     python -m repro list
 
 ``run`` simulates one workload under one or more policies; ``sweep``
 reproduces its Figure 6 column; ``experiment`` regenerates a paper
-figure/table (optionally on the quick workload subset); ``list`` shows
-the available workloads, policies and experiments.
+figure/table (optionally on the quick workload subset); ``report``
+regenerates the sweep-style figures/tables in one pass through the
+parallel runner; ``list`` shows the available workloads, policies and
+experiments.  Invoking ``python -m repro`` with only flags (e.g.
+``python -m repro --quick --jobs 4``) is shorthand for ``report``.
+
+``experiment`` and ``report`` fan simulations out across processes
+(``--jobs``, default ``REPRO_JOBS`` or the CPU count) and reuse results
+from the content-addressed cache (``REPRO_CACHE_DIR`` or
+``~/.cache/repro``; disable with ``--no-cache``, wipe with
+``--clear-cache``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
 
 from . import experiments
 from .render import render_bars
+from .sim.parallel import ResultCache, SweepRunner
 from .sim.runner import resolve_policy, run_workload
 from .trace.suite import SUITE, workload_by_name
 from .units import SWEEP_PAGE_SIZES, size_label
@@ -44,6 +56,41 @@ _POLICY_NAMES = (
     "S-4KB", "S-64KB", "S-2MB", "CLAP", "Ideal", "MGvm", "F-Barre",
     "GRIT", "Ideal_C-NUMA", "Ideal_C-NUMA+inter",
 )
+
+#: The sweep-style experiments the ``report`` command regenerates.
+_REPORT_EXPERIMENTS = ("fig6", "table2", "fig18", "fig22")
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    """Build the runner the sweep-style commands share, honouring flags."""
+    if args.clear_cache:
+        removed = ResultCache().clear()
+        print(f"cleared {removed} cached result(s)")
+    return SweepRunner(jobs=args.jobs, use_cache=not args.no_cache)
+
+
+def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel simulation processes "
+             "(default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--clear-cache", action="store_true",
+        help="wipe the result cache before running",
+    )
+
+
+def _run_experiment_module(module, args, runner):
+    """Call ``module.run``, passing the runner when it is supported."""
+    kwargs = {"quick": args.quick}
+    if "runner" in inspect.signature(module.run).parameters:
+        kwargs["runner"] = runner
+    return module.run(**kwargs)
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -111,11 +158,29 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         __import__(f"repro.experiments.{module_name}").experiments,
         module_name,
     )
-    result = module.run(quick=args.quick)
+    runner = _make_runner(args)
+    result = _run_experiment_module(module, args, runner)
     if args.bars:
         print(render_bars(result))
     else:
         print(result.format())
+    if runner.stats.cells:
+        print(runner.summary_line())
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
+    for key in _REPORT_EXPERIMENTS:
+        module_name = _EXPERIMENTS[key]
+        module = getattr(
+            __import__(f"repro.experiments.{module_name}").experiments,
+            module_name,
+        )
+        result = _run_experiment_module(module, args, runner)
+        print(result.format())
+        print()
+    print(runner.summary_line())
     return 0
 
 
@@ -148,16 +213,32 @@ def build_parser() -> argparse.ArgumentParser:
     exp_parser.add_argument(
         "--bars", action="store_true", help="render ASCII bars"
     )
+    _add_runner_flags(exp_parser)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="regenerate the sweep experiments "
+             f"({', '.join(_REPORT_EXPERIMENTS)}) in one pass",
+    )
+    report_parser.add_argument("--quick", action="store_true")
+    _add_runner_flags(report_parser)
     return parser
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # ``python -m repro --quick --jobs 4`` is shorthand for ``report``.
+    if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
+        argv.insert(0, "report")
     args = build_parser().parse_args(argv)
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
+        "report": _cmd_report,
     }
     return handlers[args.command](args)
 

@@ -15,11 +15,11 @@ Three studies backing specific claims in the paper's text:
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional
 
 from ..core.clap import ClapPolicy
-from ..sim.runner import run_workload
-from .common import ExperimentResult, Row, gmean, pick_workloads
+from ..sim.parallel import SweepRunner
+from .common import ExperimentResult, Row, gmean, pick_workloads, run_cells
 
 #: Workloads where each ablated mechanism visibly matters.
 RT_WORKLOADS = ("ViT", "RES50", "GPT3")
@@ -27,16 +27,24 @@ COALESCING_WORKLOADS = ("STE", "LPS", "PAF", "SC")
 THRESHOLD_WORKLOADS = ("STE", "BFS", "SSSP", "GPT3")
 
 
-def run_pmm_threshold(quick: bool = False) -> ExperimentResult:
+def run_pmm_threshold(
+    quick: bool = False, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     rows = []
     ratios = []
     thresholds = (0.10, 0.20, 0.30)
-    for spec in pick_workloads(quick, THRESHOLD_WORKLOADS):
-        baseline = run_workload(spec, ClapPolicy(pmm_threshold=0.20))
+    specs = pick_workloads(quick, THRESHOLD_WORKLOADS)
+    cells = [
+        (spec, ClapPolicy(pmm_threshold=threshold))
+        for spec in specs
+        for threshold in thresholds
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
+        by_threshold = {t: next(flat) for t in thresholds}
+        baseline = by_threshold[0.20]
         for threshold in thresholds:
-            result = run_workload(
-                spec, ClapPolicy(pmm_threshold=threshold)
-            )
+            result = by_threshold[threshold]
             value = result.performance / baseline.performance
             rows.append(
                 Row(spec.abbr, f"PMM={int(threshold * 100)}%", value)
@@ -51,14 +59,21 @@ def run_pmm_threshold(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_remote_tracker(quick: bool = False) -> ExperimentResult:
+def run_remote_tracker(
+    quick: bool = False, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     rows = []
     ratios = []
-    for spec in pick_workloads(quick, RT_WORKLOADS):
-        with_rt = run_workload(spec, ClapPolicy())
-        without = run_workload(
-            spec, ClapPolicy(use_remote_tracker=False)
-        )
+    specs = pick_workloads(quick, RT_WORKLOADS)
+    cells = [
+        (spec, ClapPolicy(use_remote_tracker=rt))
+        for spec in specs
+        for rt in (True, False)
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
+        with_rt = next(flat)
+        without = next(flat)
         rows.append(Row(spec.abbr, "CLAP", 1.0))
         value = without.performance / with_rt.performance
         rows.append(
@@ -85,12 +100,21 @@ def run_remote_tracker(quick: bool = False) -> ExperimentResult:
     )
 
 
-def run_coalescing(quick: bool = False) -> ExperimentResult:
+def run_coalescing(
+    quick: bool = False, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     rows = []
     ratios = []
-    for spec in pick_workloads(quick, COALESCING_WORKLOADS):
-        with_coalescing = run_workload(spec, ClapPolicy())
-        without = run_workload(spec, ClapPolicy(use_coalescing=False))
+    specs = pick_workloads(quick, COALESCING_WORKLOADS)
+    cells = [
+        (spec, ClapPolicy(use_coalescing=coalescing))
+        for spec in specs
+        for coalescing in (True, False)
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
+        with_coalescing = next(flat)
+        without = next(flat)
         rows.append(Row(spec.abbr, "CLAP", 1.0))
         value = without.performance / with_coalescing.performance
         rows.append(Row(spec.abbr, "CLAP_no_coalescing", value))

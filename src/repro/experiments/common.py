@@ -7,6 +7,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..sim.parallel import (  # noqa: F401  (re-exported for experiments)
+    SweepCell,
+    SweepRunner,
+    run_cells,
+)
 from ..trace.suite import SUITE
 from ..trace.workload import WorkloadSpec
 

@@ -17,10 +17,10 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..policies import StaticPaging
+from ..sim.parallel import SweepRunner
 from ..sim.results import SimResult
-from ..sim.runner import run_workload
 from ..units import PAGE_64K, SWEEP_PAGE_SIZES, size_label
-from .common import ExperimentResult, Row, pick_workloads
+from .common import ExperimentResult, Row, pick_workloads, run_cells
 
 
 def best_size(result: ExperimentResult, workload: str) -> int:
@@ -37,13 +37,21 @@ def best_size(result: ExperimentResult, workload: str) -> int:
 
 
 def run(
-    quick: bool = False, workloads: Optional[Sequence[str]] = None
+    quick: bool = False,
+    workloads: Optional[Sequence[str]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> ExperimentResult:
     rows = []
-    for spec in pick_workloads(quick, workloads):
+    specs = pick_workloads(quick, workloads)
+    cells = [
+        (spec, StaticPaging(size))
+        for spec in specs
+        for size in SWEEP_PAGE_SIZES
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
         results: Dict[int, SimResult] = {
-            size: run_workload(spec, StaticPaging(size))
-            for size in SWEEP_PAGE_SIZES
+            size: next(flat) for size in SWEEP_PAGE_SIZES
         }
         baseline = results[PAGE_64K]
         for size, result in results.items():

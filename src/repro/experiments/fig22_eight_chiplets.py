@@ -9,15 +9,15 @@ S-2MB — and the key scaling claim that CLAP's margin over indiscriminate
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..config import eight_chiplet_config
 from ..core.clap import ClapPolicy
 from ..policies import StaticPaging
-from ..sim.runner import run_workload
+from ..sim.parallel import SweepRunner
 from ..trace.suite import LOW_PARALLELISM, SUITE
 from ..units import PAGE_2M, PAGE_64K
-from .common import ExperimentResult, Row, gmean, pick_workloads
+from .common import ExperimentResult, Row, gmean, pick_workloads, run_cells
 
 CONFIGS: Tuple[Tuple[str, Callable], ...] = (
     ("S-64KB", lambda: StaticPaging(PAGE_64K)),
@@ -26,15 +26,22 @@ CONFIGS: Tuple[Tuple[str, Callable], ...] = (
 )
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(
+    quick: bool = False, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     config = eight_chiplet_config()
     names = [w.abbr for w in SUITE if w.abbr not in LOW_PARALLELISM]
     rows = []
     normalized: Dict[str, List[float]] = {name: [] for name, _ in CONFIGS}
-    for spec in pick_workloads(quick, names):
+    specs = pick_workloads(quick, names)
+    cells = [
+        (spec, make(), config) for spec in specs for _, make in CONFIGS
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
         baseline = None
-        for name, make in CONFIGS:
-            result = run_workload(spec, make(), config)
+        for name, _ in CONFIGS:
+            result = next(flat)
             if baseline is None:
                 baseline = result
             value = result.performance / baseline.performance

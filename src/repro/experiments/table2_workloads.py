@@ -10,17 +10,28 @@ misplacement capacity effect).
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..policies import StaticPaging
-from ..sim.runner import run_workload
+from ..sim.parallel import SweepRunner
 from ..units import NATIVE_PAGE_SIZES, size_label
-from .common import ExperimentResult, Row, pick_workloads
+from .common import ExperimentResult, Row, pick_workloads, run_cells
 
 
-def run(quick: bool = False) -> ExperimentResult:
+def run(
+    quick: bool = False, runner: Optional[SweepRunner] = None
+) -> ExperimentResult:
     rows = []
-    for spec in pick_workloads(quick):
+    specs = pick_workloads(quick)
+    cells = [
+        (spec, StaticPaging(size))
+        for spec in specs
+        for size in NATIVE_PAGE_SIZES
+    ]
+    flat = iter(run_cells(cells, runner))
+    for spec in specs:
         for size in NATIVE_PAGE_SIZES:
-            result = run_workload(spec, StaticPaging(size))
+            result = next(flat)
             rows.append(
                 Row(
                     workload=spec.abbr,

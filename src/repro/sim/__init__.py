@@ -5,6 +5,7 @@ from .timing import TimingParams
 from .results import SimResult
 from .engine import run_simulation
 from .runner import run_workload
+from .parallel import ResultCache, SweepCell, SweepRunner
 
 __all__ = [
     "Machine",
@@ -12,4 +13,7 @@ __all__ = [
     "SimResult",
     "run_simulation",
     "run_workload",
+    "SweepRunner",
+    "SweepCell",
+    "ResultCache",
 ]

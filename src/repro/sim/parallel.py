@@ -1,0 +1,428 @@
+"""Parallel sweep execution with content-addressed result caching.
+
+Every figure/table experiment expands into independent (workload,
+policy, config) *cells*; nothing in the simulator couples one cell to
+another, so a sweep is embarrassingly parallel and — because every cell
+is deterministic in its inputs — perfectly cacheable.
+
+:class:`SweepRunner` is the single entry point the experiments, the CLI
+and the report script share:
+
+* cells execute across a :class:`~concurrent.futures.ProcessPoolExecutor`
+  (worker count from ``--jobs``/``REPRO_JOBS``/CPU count), falling back
+  to in-process execution for ``jobs=1`` and for cells whose policy does
+  not pickle;
+* results are stored in an on-disk cache (``REPRO_CACHE_DIR`` or
+  ``~/.cache/repro``) keyed by a stable SHA-256 fingerprint of the
+  workload spec, the policy name+parameters, the :class:`GPUConfig`, the
+  :class:`TimingParams`, the interleave/remote-cache/seed knobs and a
+  schema version — change any input and the key changes, so stale
+  entries can never be returned for new inputs;
+* identical cells within one batch are deduplicated (simulated once).
+
+Cells run with a fixed seed regardless of scheduling order, so serial,
+parallel and cached executions of the same sweep produce identical
+:class:`SimResult` lists — the invariant ``tests/test_parallel_runner.py``
+pins down.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import pickle
+import shutil
+import tempfile
+import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..arch.address import InterleavePolicy
+from ..config import GPUConfig
+from ..trace.suite import workload_by_name
+from ..trace.workload import WorkloadSpec
+from .results import SimResult
+from .runner import resolve_policy, run_workload
+from .timing import TimingParams
+
+#: Bump when the cache entry layout or :meth:`SimResult.to_dict` schema
+#: changes; old entries then miss and are re-simulated.
+CACHE_SCHEMA_VERSION = 1
+
+_PRIMITIVES = (bool, int, float, str, type(None))
+
+
+@dataclasses.dataclass
+class SweepCell:
+    """One independent simulation: everything :func:`run_workload` takes.
+
+    ``workload`` and ``policy`` accept the same strings ``run_workload``
+    does (suite abbreviations, policy names); they are resolved eagerly
+    so the fingerprint always reflects the concrete spec and parameters.
+    """
+
+    workload: Union[str, WorkloadSpec]
+    policy: object
+    config: Optional[GPUConfig] = None
+    interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE
+    remote_cache: Optional[str] = None
+    seed: int = 7
+    timing: TimingParams = TimingParams()
+    #: free-form label for the caller (ignored by the fingerprint)
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, str):
+            self.workload = workload_by_name(self.workload)
+        self.policy = resolve_policy(self.policy)
+
+
+def _jsonable(value):
+    """Canonical JSON-compatible form of fingerprint inputs."""
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonable(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, _PRIMITIVES):
+        return value
+    return repr(value)
+
+
+def policy_fingerprint(policy) -> dict:
+    """Stable description of a policy: name, class, and parameters.
+
+    Parameters are the instance's public primitive attributes (captured
+    at cell-construction time, before ``attach`` binds runtime state)
+    plus the behaviour flags the engine reads off the policy.
+    """
+    params = {}
+    for key, value in vars(policy).items():
+        if key.startswith("_") or key in ("machine", "workload", "name"):
+            continue
+        if isinstance(value, _PRIMITIVES) or isinstance(value, enum.Enum):
+            params[key] = _jsonable(value)
+    for flag in (
+        "coalescing",
+        "pattern_coalescing",
+        "ideal_translation",
+        "pte_placement",
+        "wants_page_stats",
+        "num_epochs",
+    ):
+        params[flag] = _jsonable(getattr(policy, flag))
+    return {
+        "name": policy.name,
+        "class": type(policy).__name__,
+        "params": params,
+    }
+
+
+def cell_fingerprint(cell: SweepCell) -> str:
+    """Content hash of every input that determines the cell's result."""
+    payload = {
+        "schema": CACHE_SCHEMA_VERSION,
+        "workload": _jsonable(cell.workload),
+        "policy": policy_fingerprint(cell.policy),
+        "config": _jsonable(cell.config) if cell.config is not None else None,
+        "interleave": _jsonable(cell.interleave),
+        "remote_cache": cell.remote_cache,
+        "seed": cell.seed,
+        "timing": _jsonable(cell.timing),
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR`` or the conventional ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+class ResultCache:
+    """Content-addressed on-disk store of :class:`SimResult` JSON."""
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimResult]:
+        """The cached result for ``key``, or None (corrupt files miss)."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if entry.get("schema") != CACHE_SCHEMA_VERSION:
+                return None
+            return SimResult.from_dict(entry["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, result: SimResult) -> None:
+        """Store ``result`` atomically (write-to-temp, then rename)."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"schema": CACHE_SCHEMA_VERSION, "result": result.to_dict()}
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(entry, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+            for sub in self.root.iterdir():
+                if sub.is_dir():
+                    shutil.rmtree(sub, ignore_errors=True)
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Accumulated accounting across a runner's ``run_cells`` calls."""
+
+    cells: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    deduped: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.cache_hits / self.cells if self.cells else 0.0
+
+    def summary_line(self) -> str:
+        parts = [
+            f"{self.cells} cells",
+            f"{self.simulated} simulated",
+            f"{self.cache_hits} cache hits ({100.0 * self.hit_ratio:.1f}%)",
+        ]
+        if self.deduped:
+            parts.append(f"{self.deduped} deduped")
+        parts.append(f"{self.wall_seconds:.1f}s wall")
+        return "[sweep] " + ", ".join(parts)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count: explicit value, else ``REPRO_JOBS``, else CPU count."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS")
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from exc
+        else:
+            jobs = os.cpu_count() or 1
+    return max(1, int(jobs))
+
+
+def _run_cell(cell: SweepCell) -> SimResult:
+    """Execute one cell (also the process-pool worker entry point)."""
+    return run_workload(
+        cell.workload,
+        cell.policy,
+        cell.config,
+        interleave=cell.interleave,
+        remote_cache=cell.remote_cache,
+        seed=cell.seed,
+        timing=cell.timing,
+    )
+
+
+def _picklable(cell: SweepCell) -> bool:
+    try:
+        pickle.dumps(cell)
+        return True
+    except Exception:
+        return False
+
+
+class SweepRunner:
+    """Executes sweep cells with fan-out and content-addressed caching."""
+
+    def __init__(
+        self,
+        jobs: Optional[int] = None,
+        use_cache: bool = True,
+        cache_dir: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.jobs = resolve_jobs(jobs)
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if use_cache else None
+        )
+        self.stats = SweepStats()
+
+    # --- execution ---
+
+    def run_cells(
+        self, cells: Iterable[Union[SweepCell, tuple]]
+    ) -> List[SimResult]:
+        """Run every cell, in order, returning one result per cell.
+
+        Cache hits are returned without simulating; misses are grouped
+        by fingerprint (duplicates simulate once), fanned out across the
+        process pool when ``jobs > 1``, and written back to the cache.
+        """
+        start = time.perf_counter()
+        cells = [
+            c if isinstance(c, SweepCell) else SweepCell(*c) for c in cells
+        ]
+        keys = [cell_fingerprint(c) for c in cells]
+        results: List[Optional[SimResult]] = [None] * len(cells)
+
+        leaders = {}  # fingerprint -> index of the cell that simulates it
+        pending: List[int] = []
+        for i, key in enumerate(keys):
+            if key in leaders:
+                self.stats.deduped += 1
+                continue
+            if self.cache is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = hit
+                    leaders[key] = i
+                    self.stats.cache_hits += 1
+                    continue
+            leaders[key] = i
+            pending.append(i)
+
+        if pending:
+            parallel = []
+            serial = []
+            if self.jobs > 1 and len(pending) > 1:
+                for i in pending:
+                    (parallel if _picklable(cells[i]) else serial).append(i)
+            else:
+                serial = pending
+            if parallel:
+                workers = min(self.jobs, len(parallel))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    fanned = pool.map(
+                        _run_cell, [cells[i] for i in parallel]
+                    )
+                    for i, result in zip(parallel, fanned):
+                        results[i] = result
+            for i in serial:
+                results[i] = _run_cell(cells[i])
+            self.stats.simulated += len(pending)
+            if self.cache is not None:
+                for i in pending:
+                    self.cache.put(keys[i], results[i])
+
+        # Fan shared results back out to duplicate cells.
+        for i, key in enumerate(keys):
+            if results[i] is None:
+                results[i] = results[leaders[key]]
+
+        self.stats.cells += len(cells)
+        self.stats.wall_seconds += time.perf_counter() - start
+        return results  # type: ignore[return-value]
+
+    def run(
+        self,
+        workload: Union[str, WorkloadSpec],
+        policy,
+        config: Optional[GPUConfig] = None,
+        *,
+        interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
+        remote_cache: Optional[str] = None,
+        seed: int = 7,
+        timing: TimingParams = TimingParams(),
+    ) -> SimResult:
+        """Single-cell convenience mirroring :func:`run_workload`."""
+        cell = SweepCell(
+            workload,
+            policy,
+            config,
+            interleave=interleave,
+            remote_cache=remote_cache,
+            seed=seed,
+            timing=timing,
+        )
+        return self.run_cells([cell])[0]
+
+    # --- reporting ---
+
+    def summary_line(self) -> str:
+        return self.stats.summary_line()
+
+    def reset_stats(self) -> None:
+        self.stats = SweepStats()
+
+
+_default_runner: Optional[SweepRunner] = None
+
+
+def default_runner() -> SweepRunner:
+    """The shared runner used when experiments get ``runner=None``.
+
+    Library calls stay serial and cache-free unless opted in via the
+    environment (``REPRO_JOBS`` for fan-out, ``REPRO_CACHE=1`` or an
+    explicit ``REPRO_CACHE_DIR`` for caching), so importing code — and
+    the deterministic test suite — never reads stale results by
+    surprise.  The CLI and report script construct their own runners
+    with caching on by default.
+    """
+    global _default_runner
+    if _default_runner is None:
+        env_jobs = os.environ.get("REPRO_JOBS")
+        jobs = resolve_jobs(int(env_jobs)) if env_jobs else 1
+        use_cache = bool(
+            os.environ.get("REPRO_CACHE_DIR")
+            or os.environ.get("REPRO_CACHE", "") not in ("", "0", "false")
+        )
+        _default_runner = SweepRunner(jobs=jobs, use_cache=use_cache)
+    return _default_runner
+
+
+def set_default_runner(runner: Optional[SweepRunner]) -> None:
+    """Override (or with ``None`` reset) the shared default runner."""
+    global _default_runner
+    _default_runner = runner
+
+
+def run_cells(
+    cells: Sequence[Union[SweepCell, tuple]],
+    runner: Optional[SweepRunner] = None,
+) -> List[SimResult]:
+    """Run cells through ``runner`` (default: the shared runner)."""
+    return (runner or default_runner()).run_cells(cells)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, Optional, Tuple
 
 from ..units import size_label
@@ -99,3 +99,63 @@ class SimResult:
     def structure_remote_ratio(self, name: str) -> float:
         accesses, remotes = self.per_structure_remote.get(name, (0, 0))
         return remotes / accesses if accesses else 0.0
+
+    # --- serialization (the result-cache storage format) ---
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-compatible dict covering every field.
+
+        The inverse of :meth:`from_dict`: round-tripping through JSON
+        reproduces an equal ``SimResult`` (floats survive JSON exactly
+        in Python), which is what lets the on-disk result cache stand in
+        for a live simulation.
+        """
+        data: Dict[str, object] = {
+            f.name: getattr(self, f.name)
+            for f in fields(self)
+            if f.name not in ("energy", "selections", "per_structure_remote")
+        }
+        energy = self.energy
+        data["energy"] = (
+            None
+            if energy is None
+            else {
+                "l1": energy.l1,
+                "l2": energy.l2,
+                "dram": energy.dram,
+                "ring": energy.ring,
+                "translation": energy.translation,
+            }
+        )
+        data["selections"] = {
+            name: {"page_size": sel.page_size, "via_olp": sel.via_olp}
+            for name, sel in self.selections.items()
+        }
+        data["per_structure_remote"] = {
+            name: list(pair)
+            for name, pair in self.per_structure_remote.items()
+        }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+        """Rebuild a ``SimResult`` from :meth:`to_dict` output."""
+        from .energy import EnergyBreakdown
+
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
+        kwargs = dict(data)
+        energy = kwargs.get("energy")
+        if energy is not None:
+            kwargs["energy"] = EnergyBreakdown(**energy)
+        kwargs["selections"] = {
+            name: SelectionInfo(**sel)
+            for name, sel in (kwargs.get("selections") or {}).items()
+        }
+        kwargs["per_structure_remote"] = {
+            name: tuple(pair)
+            for name, pair in (kwargs.get("per_structure_remote") or {}).items()
+        }
+        return cls(**kwargs)

@@ -24,6 +24,7 @@ OLP, as in the paper).
 from __future__ import annotations
 
 import enum
+import zlib
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -234,7 +235,11 @@ class Workload:
             return cached
         pages = structure.num_pages
         if structure.pattern is Pattern.SHARED:
-            rng = np.random.default_rng((self.seed, hash(structure.name) & 0xFFFF))
+            # zlib.crc32, not hash(): string hashes are salted per
+            # process, and first-touch owners must not depend on which
+            # process (or parallel sweep worker) builds the workload.
+            name_hash = zlib.crc32(structure.name.encode("utf-8"))
+            rng = np.random.default_rng((self.seed, name_hash & 0xFFFF))
             owners = rng.integers(0, self.num_chiplets, size=pages, dtype=np.int8)
         else:
             owners = np.fromiter(

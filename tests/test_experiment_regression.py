@@ -1,0 +1,121 @@
+"""Golden-value regression pins for the headline experiments.
+
+The shape tests in ``test_experiments.py`` assert qualitative paper
+results; these pin the *numbers* the quick runs produce today, so that
+performance refactors (parallel runners, caching, engine rewrites)
+cannot silently change science outputs.  Tolerances are tight — every
+simulation is deterministic end to end — but relative, to absorb
+platform-level floating-point wiggle.
+
+If a change is *supposed* to move these numbers (a model fix, a
+calibration change), regenerate the constants and say so in the commit.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig06_page_size_sweep,
+    fig18_main,
+    table2_workloads,
+)
+
+REL = 1e-6
+
+#: (workload, size) -> (performance normalised to 64KB, remote ratio)
+FIG06_GOLDEN = {
+    ("STE", "4KB"): (0.662990561351217, 0.0),
+    ("STE", "256KB"): (1.0925612618021068, 0.0),
+    ("STE", "2MB"): (0.6308512287484669, 0.75),
+    ("BLK", "4KB"): (0.9965203719708853, 0.0),
+    ("BLK", "256KB"): (1.2156075163489735, 0.0),
+    ("BLK", "2MB"): (1.2971814538769089, 0.0),
+    ("GPT3", "4KB"): (0.869262490807224, 0.45),
+    ("GPT3", "256KB"): (1.1228787338287192, 0.45),
+    ("GPT3", "2MB"): (1.1639763417377755, 0.45),
+}
+
+FIG18_GOLDEN_SUMMARY = {
+    "gmean_S-2MB": 0.9839143148420216,
+    "gmean_Ideal_C-NUMA": 1.0841039683814069,
+    "gmean_Ideal_C-NUMA+inter": 1.0655375158398928,
+    "gmean_GRIT": 0.9999802158460732,
+    "gmean_MGvm": 1.061319507887009,
+    "gmean_F-Barre": 0.8243043718296006,
+    "gmean_CLAP": 1.164344094672418,
+    "gmean_Ideal": 1.331111994988773,
+    "clap_over_S-64KB": 1.164344094672418,
+    "clap_over_S-2MB": 1.1833795657901027,
+    "clap_over_Ideal_C-NUMA": 1.0740151577996817,
+    "clap_over_Ideal_C-NUMA+inter": 1.092729328966557,
+    "clap_over_GRIT": 1.1643671306909589,
+    "clap_over_MGvm": 1.0970721691439758,
+    "clap_over_F-Barre": 1.4125171896008215,
+    "ideal_over_clap": 1.1432290515144274,
+}
+
+#: (workload, size) -> (L2 TLB MPKI, L2$ MPKI)
+TABLE2_GOLDEN = {
+    ("STE", "4KB"): (100.0, 100.0),
+    ("STE", "64KB"): (25.0, 100.0),
+    ("STE", "2MB"): (9.114583333333334, 300.0),
+    ("BLK", "4KB"): (62.5, 224.0849247685185),
+    ("BLK", "64KB"): (62.5, 199.16449652777777),
+    ("BLK", "2MB"): (22.135416666666668, 199.16449652777777),
+    ("GPT3", "4KB"): (90.0, 68.33333333333333),
+    ("GPT3", "64KB"): (55.0, 71.31510416666667),
+    ("GPT3", "2MB"): (21.666666666666668, 75.79427083333333),
+}
+
+
+@pytest.fixture(scope="module")
+def fig06_result():
+    return fig06_page_size_sweep.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def fig18_result():
+    return fig18_main.run(quick=True)
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return table2_workloads.run(quick=True)
+
+
+def test_fig06_quick_golden(fig06_result):
+    for (workload, size), (value, remote) in FIG06_GOLDEN.items():
+        row = fig06_result.row(workload, size)
+        assert row.value == pytest.approx(value, rel=REL), (workload, size)
+        assert row.remote_ratio == pytest.approx(remote, abs=1e-9), (
+            workload,
+            size,
+        )
+
+
+def test_fig18_quick_golden_summary(fig18_result):
+    assert fig18_result.summary["gmean_S-64KB"] == pytest.approx(1.0)
+    for key, value in FIG18_GOLDEN_SUMMARY.items():
+        assert fig18_result.summary[key] == pytest.approx(
+            value, rel=REL
+        ), key
+
+
+def test_fig18_quick_headline_ordering(fig18_result):
+    """The orderings the paper's story depends on, from the same run."""
+    summary = fig18_result.summary
+    assert summary["gmean_Ideal"] > summary["gmean_CLAP"]
+    assert summary["gmean_CLAP"] > summary["gmean_Ideal_C-NUMA"]
+    assert summary["gmean_CLAP"] > summary["gmean_S-2MB"]
+
+
+def test_table2_quick_golden(table2_result):
+    for (workload, size), (tlb_mpki, l2_mpki) in TABLE2_GOLDEN.items():
+        row = table2_result.row(workload, size)
+        assert row.value == pytest.approx(tlb_mpki, rel=REL), (
+            workload,
+            size,
+        )
+        assert row.extra["l2_mpki"] == pytest.approx(l2_mpki, rel=REL), (
+            workload,
+            size,
+        )

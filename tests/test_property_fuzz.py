@@ -132,6 +132,33 @@ def test_clap_on_random_workloads(spec, seed):
     assert result.page_faults > 0
 
 
+# --- determinism (the invariant the result cache relies on) -----------
+
+@given(spec=_random_spec(), seed=st.integers(0, 50))
+@settings(max_examples=12, deadline=None)
+def test_run_workload_deterministic_for_same_seed(spec, seed):
+    """Two runs with identical inputs must be *equal in every field* —
+    the content-addressed cache substitutes a stored result for a live
+    simulation, which is only sound if reruns cannot differ."""
+    from repro.policies import StaticPaging
+    from repro.sim.runner import run_workload
+
+    first = run_workload(spec, StaticPaging(PAGE_64K), seed=seed)
+    second = run_workload(spec, StaticPaging(PAGE_64K), seed=seed)
+    assert first == second
+    assert first.to_dict() == second.to_dict()
+
+
+@given(spec=_random_spec(), seed=st.integers(0, 50))
+@settings(max_examples=8, deadline=None)
+def test_clap_deterministic_for_same_seed(spec, seed):
+    """The stateful adaptive policy must be just as replayable as the
+    static ones (fresh instances, same seed, equal results)."""
+    first = run_simulation(spec, ClapPolicy(), seed=seed)
+    second = run_simulation(spec, ClapPolicy(), seed=seed)
+    assert first == second
+
+
 @given(seed=st.integers(0, 1000))
 @settings(max_examples=10, deadline=None)
 def test_table4_selection_stable_across_seeds(seed):

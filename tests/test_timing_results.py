@@ -109,3 +109,75 @@ class TestSelectionInfo:
     def test_labels(self):
         assert SelectionInfo(PAGE_64K).label == "64KB"
         assert SelectionInfo(PAGE_2M, via_olp=True).label == "2MB*"
+
+
+class TestSimResultSerialization:
+    """to_dict/from_dict must round-trip every field through JSON."""
+
+    def full_result(self):
+        from repro.sim.energy import EnergyBreakdown
+
+        return make_result(
+            host_refaults=3,
+            energy=EnergyBreakdown(
+                l1=1.5, l2=2.5, dram=3.5, ring=4.5, translation=5.5
+            ),
+            selections={
+                "a": SelectionInfo(PAGE_64K),
+                "b": SelectionInfo(PAGE_2M, via_olp=True),
+            },
+            per_structure_remote={"a": (10, 4), "b": (6, 0)},
+            remote_cache_coverage=0.375,
+        )
+
+    def test_round_trip_through_json(self):
+        import json
+
+        result = self.full_result()
+        rebuilt = SimResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt == result
+        # Tuples (not lists) come back, so equality is structural too.
+        assert rebuilt.per_structure_remote["a"] == (10, 4)
+        assert isinstance(rebuilt.per_structure_remote["a"], tuple)
+        assert rebuilt.selections["b"].via_olp is True
+        assert rebuilt.energy == result.energy
+
+    def test_round_trip_with_optional_fields_absent(self):
+        result = make_result()  # energy/selections/coverage defaults
+        rebuilt = SimResult.from_dict(result.to_dict())
+        assert rebuilt == result
+        assert rebuilt.energy is None
+        assert rebuilt.remote_cache_coverage is None
+
+    def test_to_dict_covers_every_field(self):
+        """New SimResult fields must be added to the serializer."""
+        from dataclasses import fields
+
+        data = self.full_result().to_dict()
+        assert set(data) == {f.name for f in fields(SimResult)}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        data = self.full_result().to_dict()
+        data["not_a_field"] = 1
+        with pytest.raises(ValueError):
+            SimResult.from_dict(data)
+
+    def test_engine_result_round_trips(self):
+        """An end-to-end result (nested energy, selections) survives."""
+        import json
+
+        from repro.core.clap import ClapPolicy
+        from repro.sim.runner import run_workload
+
+        from .conftest import make_spec, partitioned
+
+        spec = make_spec(
+            partitioned(size=8 * 1024 * 1024, waves=2, lines_per_touch=4)
+        )
+        result = run_workload(spec, ClapPolicy())
+        rebuilt = SimResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert rebuilt == result
