@@ -13,6 +13,15 @@ paper-vs-measured record of every reproduced table and figure.
 """
 
 from .config import GPUConfig, baseline_config, eight_chiplet_config
+from .errors import (
+    ChaosError,
+    InvariantViolation,
+    MemoryExhaustedError,
+    PolicyMappingError,
+    SimulationError,
+    SweepError,
+    TraceFormatError,
+)
 from .core.clap import AllocationPhase, ClapPolicy
 from .core.clap_sa import ClapSaPlusPolicy, ClapSaPolicy
 from .core.migration import ClapMigrationPolicy
@@ -28,7 +37,14 @@ from .policies import (
 )
 from .sim.energy import EnergyBreakdown, EnergyParams, energy_report
 from .sim.engine import run_simulation
-from .sim.parallel import ResultCache, SweepCell, SweepRunner
+from .sim.chaos import ChaosSchedule, FaultKind
+from .sim.parallel import (
+    CellFailure,
+    OnError,
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+)
 from .sim.results import SimResult
 from .sim.runner import run_workload
 from .sim.validation import validate_machine
@@ -60,6 +76,17 @@ __all__ = [
     "SweepRunner",
     "SweepCell",
     "ResultCache",
+    "OnError",
+    "CellFailure",
+    "ChaosSchedule",
+    "FaultKind",
+    "SimulationError",
+    "InvariantViolation",
+    "MemoryExhaustedError",
+    "TraceFormatError",
+    "PolicyMappingError",
+    "SweepError",
+    "ChaosError",
     "SimResult",
     "EnergyBreakdown",
     "EnergyParams",

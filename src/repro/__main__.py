@@ -21,6 +21,13 @@ experiments.  Invoking ``python -m repro`` with only flags (e.g.
 from the content-addressed cache (``REPRO_CACHE_DIR`` or
 ``~/.cache/repro``; disable with ``--no-cache``, wipe with
 ``--clear-cache``).
+
+Sweeps are fault tolerant: ``--cell-timeout`` (default
+``REPRO_CELL_TIMEOUT``) kills cells that hang, ``--on-error
+raise|skip|retry`` decides whether a failing cell aborts the sweep, is
+recorded and skipped, or is retried with exponential backoff
+(``--retries`` extra attempts), and completed cells are always flushed
+to the result cache — an aborted sweep resumes from where it stopped.
 """
 
 from __future__ import annotations
@@ -66,7 +73,13 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
     if args.clear_cache:
         removed = ResultCache().clear()
         print(f"cleared {removed} cached result(s)")
-    return SweepRunner(jobs=args.jobs, use_cache=not args.no_cache)
+    return SweepRunner(
+        jobs=args.jobs,
+        use_cache=not args.no_cache,
+        cell_timeout=args.cell_timeout,
+        on_error=args.on_error,
+        max_attempts=args.retries + 1,
+    )
 
 
 def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
@@ -83,6 +96,27 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         "--clear-cache", action="store_true",
         help="wipe the result cache before running",
     )
+    parser.add_argument(
+        "--cell-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill a simulation cell exceeding this many seconds "
+             "(default: REPRO_CELL_TIMEOUT, or no timeout)",
+    )
+    parser.add_argument(
+        "--on-error", choices=("raise", "skip", "retry"), default="raise",
+        help="failing cell handling: abort the sweep (raise, default), "
+             "record and continue (skip), or retry with backoff (retry)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts for retried cells (default: 2; the last "
+             "retry runs in-process)",
+    )
+
+
+def _print_failures(runner: SweepRunner) -> None:
+    report = runner.failure_report()
+    if report:
+        print(report, file=sys.stderr)
 
 
 def _run_experiment_module(module, args, runner):
@@ -90,7 +124,19 @@ def _run_experiment_module(module, args, runner):
     kwargs = {"quick": args.quick}
     if "runner" in inspect.signature(module.run).parameters:
         kwargs["runner"] = runner
-    return module.run(**kwargs)
+    try:
+        return module.run(**kwargs)
+    except Exception:
+        # Under --on-error skip, failed cells yield None results the
+        # aggregation cannot use; name the real culprits first.
+        if runner is not None and runner.stats.failures:
+            _print_failures(runner)
+            print(
+                "experiment aggregation failed because the cells above "
+                "did; rerun with --on-error retry or raise",
+                file=sys.stderr,
+            )
+        raise
 
 
 def _cmd_list(_args: argparse.Namespace) -> int:
@@ -166,7 +212,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         print(result.format())
     if runner.stats.cells:
         print(runner.summary_line())
-    return 0
+    _print_failures(runner)
+    return 1 if runner.stats.failures else 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -181,7 +228,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(result.format())
         print()
     print(runner.summary_line())
-    return 0
+    _print_failures(runner)
+    return 1 if runner.stats.failures else 0
 
 
 def build_parser() -> argparse.ArgumentParser:

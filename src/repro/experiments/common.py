@@ -8,6 +8,8 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..sim.parallel import (  # noqa: F401  (re-exported for experiments)
+    CellFailure,
+    OnError,
     SweepCell,
     SweepRunner,
     run_cells,

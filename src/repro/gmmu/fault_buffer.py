@@ -21,11 +21,16 @@ class FaultBuffer:
     _pending: List[Tuple[int, int]] = field(default_factory=list)
     faults_logged: int = 0
     stalls: int = 0
+    #: faults that arrived while the buffer was full and were lost — the
+    #: requester stalls and must refault, so a nonzero count means the
+    #: buffer capacity is a bottleneck for the workload
+    dropped: int = 0
 
     def log(self, vaddr: int, requester: int) -> bool:
         """Record a fault; returns False (a stall) when the buffer is full."""
         if len(self._pending) >= self.capacity:
             self.stalls += 1
+            self.dropped += 1
             return False
         self._pending.append((vaddr, requester))
         self.faults_logged += 1

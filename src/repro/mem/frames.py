@@ -17,24 +17,29 @@ by one data structure and can be reclaimed wholesale on free.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..arch.address import AddressLayout
+from ..errors import MemoryExhaustedError
 from ..units import BLOCK_SIZE, is_pow2, size_label
 
 #: Pool name used when a caller does not need per-allocation pooling.
 DEFAULT_POOL = "default"
 
 
-class ChipletMemoryExhausted(Exception):
+class ChipletMemoryExhausted(MemoryExhaustedError):
     """Raised when a chiplet has no free PF blocks left.
 
     Policies catch this to fall back to a different chiplet (Section 4.7,
-    "Chiplet Memory Exhaustion").
+    "Chiplet Memory Exhaustion").  As a :class:`MemoryExhaustedError` it
+    carries a ``context`` snapshot of the allocator state at the moment
+    of exhaustion; the engine adds the trace position before re-raising.
     """
 
-    def __init__(self, chiplet: int):
-        super().__init__(f"chiplet {chiplet} has no free PF blocks")
+    def __init__(self, chiplet: int, context: Optional[Dict[str, Any]] = None):
+        super().__init__(
+            f"chiplet {chiplet} has no free PF blocks", context=context
+        )
         self.chiplet = chiplet
 
 
@@ -221,7 +226,18 @@ class FrameAllocator:
         else:
             sequence = self._next_sequence[chiplet]
             if self._capacity is not None and sequence >= self._capacity:
-                raise ChipletMemoryExhausted(chiplet)
+                raise ChipletMemoryExhausted(
+                    chiplet,
+                    context={
+                        "chiplet": chiplet,
+                        "capacity_blocks_per_chiplet": self._capacity,
+                        "blocks_in_use": {
+                            c: self.blocks_in_use(c)
+                            for c in range(self.num_chiplets)
+                        },
+                        "requesting_pool": pool,
+                    },
+                )
             self._next_sequence[chiplet] = sequence + 1
             index = self._layout.block_for_chiplet(chiplet, sequence)
         self._block_pool[index] = pool

@@ -19,6 +19,7 @@ from ..tlb.units import unit_for, valid_mask_for
 from ..trace.workload import Trace, Workload, WorkloadSpec
 from ..units import PAGE_64K
 from .energy import energy_report
+from .errors import MemoryExhaustedError, PolicyMappingError
 from .machine import Machine
 from .results import SimResult
 from .timing import CycleCounters, TimingParams, total_cycles
@@ -134,12 +135,36 @@ def run_simulation(
         record = lookup(vaddr)
         if record is None:
             fault_buffers[requester].log(vaddr, requester)
-            policy.place(vaddr, requester, allocations[int(alloc_ids[i])])
+            try:
+                policy.place(
+                    vaddr, requester, allocations[int(alloc_ids[i])]
+                )
+            except MemoryExhaustedError as exc:
+                # Enrich the allocator's error with the trace position so
+                # a failed sweep cell is post-mortem debuggable on its own.
+                exc.context.update(
+                    workload=workload.spec.abbr,
+                    policy=policy.name,
+                    access_index=i,
+                    n_accesses=n,
+                    vaddr=hex(vaddr),
+                    requester=requester,
+                    page_faults_so_far=faults,
+                    host_eviction=eviction is not None,
+                )
+                raise
             fault_buffers[requester].drain()
             record = lookup(vaddr)
             if record is None:
-                raise RuntimeError(
-                    f"policy {policy.name!r} failed to map {vaddr:#x}"
+                raise PolicyMappingError(
+                    f"policy {policy.name!r} failed to map {vaddr:#x}",
+                    context={
+                        "workload": workload.spec.abbr,
+                        "policy": policy.name,
+                        "access_index": i,
+                        "vaddr": hex(vaddr),
+                        "requester": requester,
+                    },
                 )
             faults += 1
             if eviction is not None:
@@ -252,6 +277,7 @@ def run_simulation(
         host_refaults=(
             eviction.stats.host_refaults if eviction is not None else 0
         ),
+        faults_dropped=sum(fb.dropped for fb in fault_buffers),
         energy=energy_report(machine),
         blocks_consumed=machine.allocator.blocks_consumed,
         selections=policy.selection_report(),

@@ -1,0 +1,27 @@
+"""The structured failure hierarchy, as seen from the simulation layer.
+
+The class definitions live in :mod:`repro.errors`, a leaf module, so the
+memory and trace layers can raise structured errors without importing
+``repro.sim`` (which would cycle back through ``sim.machine`` →
+``mem.frames``).  Simulation-layer code and tests import from here.
+"""
+
+from ..errors import (
+    ChaosError,
+    InvariantViolation,
+    MemoryExhaustedError,
+    PolicyMappingError,
+    SimulationError,
+    SweepError,
+    TraceFormatError,
+)
+
+__all__ = [
+    "SimulationError",
+    "InvariantViolation",
+    "MemoryExhaustedError",
+    "TraceFormatError",
+    "PolicyMappingError",
+    "SweepError",
+    "ChaosError",
+]

@@ -1,4 +1,4 @@
-"""Parallel sweep execution with content-addressed result caching.
+"""Parallel sweep execution with caching and fault tolerance.
 
 Every figure/table experiment expands into independent (workload,
 policy, config) *cells*; nothing in the simulator couples one cell to
@@ -24,34 +24,72 @@ Cells run with a fixed seed regardless of scheduling order, so serial,
 parallel and cached executions of the same sweep produce identical
 :class:`SimResult` lists — the invariant ``tests/test_parallel_runner.py``
 pins down.
+
+**Fault tolerance.**  Long sweep campaigns must survive partial failure,
+not just run fast:
+
+* each cell runs under a per-cell timeout (``cell_timeout`` /
+  ``REPRO_CELL_TIMEOUT`` / ``--cell-timeout``); a cell that exceeds it
+  is killed (the pool is rebuilt, preempted siblings are resubmitted
+  without losing an attempt) and reported within about one poll tick of
+  the deadline;
+* worker deaths (``BrokenProcessPool``) and timeouts are *transient*:
+  they are retried with deterministic exponential backoff and jitter up
+  to ``max_attempts``, and the final attempt runs in-process so a cell
+  that keeps killing its worker still surfaces a real traceback;
+* the ``on_error`` policy decides what a failing cell does to the sweep:
+  ``raise`` aborts with a :class:`SweepError` naming the cell
+  fingerprint (the seed behaviour), ``skip`` records a
+  :class:`CellFailure` and moves on, ``retry`` additionally retries
+  deterministic in-cell errors before recording the failure;
+* completed cells are flushed to the result cache the moment they
+  finish — a crash, an abort, or a ``KeyboardInterrupt`` mid-sweep never
+  discards finished work;
+* fault injection for all of the above is provided by the deterministic
+  chaos harness in :mod:`repro.sim.chaos`.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import enum
 import hashlib
 import json
 import os
 import pickle
+import random
 import shutil
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import (
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..arch.address import InterleavePolicy
 from ..config import GPUConfig
+from ..errors import SweepError
 from ..trace.suite import workload_by_name
 from ..trace.workload import WorkloadSpec
+from .chaos import ChaosDirective, ChaosSchedule, apply_chaos
 from .results import SimResult
 from .runner import resolve_policy, run_workload
 from .timing import TimingParams
 
 #: Bump when the cache entry layout or :meth:`SimResult.to_dict` schema
-#: changes; old entries then miss and are re-simulated.
-CACHE_SCHEMA_VERSION = 1
+#: changes; old entries then miss and are re-simulated.  v2: SimResult
+#: gained ``faults_dropped``.
+CACHE_SCHEMA_VERSION = 2
 
 _PRIMITIVES = (bool, int, float, str, type(None))
 
@@ -72,7 +110,8 @@ class SweepCell:
     remote_cache: Optional[str] = None
     seed: int = 7
     timing: TimingParams = TimingParams()
-    #: free-form label for the caller (ignored by the fingerprint)
+    #: free-form label for the caller (ignored by the fingerprint); also
+    #: the key the chaos harness injects faults by
     tag: str = ""
 
     def __post_init__(self) -> None:
@@ -153,10 +192,18 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of :class:`SimResult` JSON."""
+    """Content-addressed on-disk store of :class:`SimResult` JSON.
+
+    Storage failures never fail the sweep: the first ``OSError`` on a
+    write (read-only cache dir, disk full) emits one warning and flips
+    the cache to read-only degraded mode for the rest of the run —
+    simulations keep their results, they just stop being persisted.
+    """
 
     def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
         self.root = Path(root) if root is not None else default_cache_dir()
+        #: set after the first failed write; no further writes attempted
+        self.write_disabled = False
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
@@ -174,7 +221,25 @@ class ResultCache:
             return None
 
     def put(self, key: str, result: SimResult) -> None:
-        """Store ``result`` atomically (write-to-temp, then rename)."""
+        """Store ``result`` atomically (write-to-temp, then rename).
+
+        A failed write degrades the cache (see class docstring) instead
+        of raising.
+        """
+        if self.write_disabled:
+            return
+        try:
+            self._put(key, result)
+        except OSError as exc:
+            self.write_disabled = True
+            warnings.warn(
+                f"result cache at {self.root} is not writable ({exc}); "
+                "caching disabled for the rest of this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    def _put(self, key: str, result: SimResult) -> None:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"schema": CACHE_SCHEMA_VERSION, "result": result.to_dict()}
@@ -213,6 +278,90 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("??/*.json"))
 
 
+class OnError(str, enum.Enum):
+    """What a failing cell does to the rest of the sweep."""
+
+    #: abort the sweep with :class:`SweepError` (completed cells stay
+    #: cached)
+    RAISE = "raise"
+    #: record a :class:`CellFailure` and continue; only transient
+    #: failures (worker death, timeout) are retried
+    SKIP = "skip"
+    #: like ``skip`` but deterministic in-cell errors are retried too
+    RETRY = "retry"
+
+
+def resolve_on_error(value: Union[str, OnError, None]) -> OnError:
+    """Coerce CLI/env spellings to :class:`OnError`."""
+    if value is None:
+        return OnError.RAISE
+    if isinstance(value, OnError):
+        return value
+    try:
+        return OnError(str(value).lower())
+    except ValueError:
+        choices = ", ".join(p.value for p in OnError)
+        raise ValueError(
+            f"on_error must be one of {choices}, got {value!r}"
+        ) from None
+
+
+def resolve_cell_timeout(value: Optional[float] = None) -> Optional[float]:
+    """Per-cell timeout: explicit value, else ``REPRO_CELL_TIMEOUT``.
+
+    ``None`` or a non-positive value means no timeout.
+    """
+    if value is None:
+        env = os.environ.get("REPRO_CELL_TIMEOUT")
+        if env:
+            try:
+                value = float(env)
+            except ValueError as exc:
+                raise ValueError(
+                    f"REPRO_CELL_TIMEOUT must be a number, got {env!r}"
+                ) from exc
+    if value is not None and value <= 0:
+        return None
+    return value
+
+
+@dataclasses.dataclass
+class CellFailure:
+    """Post-mortem record of one cell that never produced a result."""
+
+    fingerprint: str
+    workload: str
+    policy: str
+    tag: str
+    attempts: int
+    #: ``error`` (the cell raised), ``timeout`` (killed past the
+    #: deadline) or ``worker-died`` (its process exited underneath it)
+    kind: str
+    #: compact exception chain, outermost first
+    error: str
+    #: structured context of the final exception, when it carried one
+    context: Dict[str, object] = dataclasses.field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def summary(self) -> str:
+        return (
+            f"{self.workload}/{self.policy} [{self.fingerprint[:12]}] "
+            f"{self.kind} after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+def _format_exception_chain(exc: BaseException) -> str:
+    """``TypeError: x <- ValueError: y`` — outermost cause first."""
+    parts = []
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        seen.add(id(current))
+        parts.append(f"{type(current).__name__}: {current}")
+        current = current.__cause__ or current.__context__
+    return " <- ".join(parts)
+
+
 @dataclasses.dataclass
 class SweepStats:
     """Accumulated accounting across a runner's ``run_cells`` calls."""
@@ -221,7 +370,14 @@ class SweepStats:
     simulated: int = 0
     cache_hits: int = 0
     deduped: int = 0
+    retries: int = 0
+    timeouts: int = 0
     wall_seconds: float = 0.0
+    failures: List[CellFailure] = dataclasses.field(default_factory=list)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
 
     @property
     def hit_ratio(self) -> float:
@@ -235,6 +391,12 @@ class SweepStats:
         ]
         if self.deduped:
             parts.append(f"{self.deduped} deduped")
+        if self.retries:
+            parts.append(f"{self.retries} retries")
+        if self.timeouts:
+            parts.append(f"{self.timeouts} timeouts")
+        if self.failures:
+            parts.append(f"{self.failed} failed")
         parts.append(f"{self.wall_seconds:.1f}s wall")
         return "[sweep] " + ", ".join(parts)
 
@@ -256,7 +418,7 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
 
 
 def _run_cell(cell: SweepCell) -> SimResult:
-    """Execute one cell (also the process-pool worker entry point)."""
+    """Execute one cell in the current process."""
     return run_workload(
         cell.workload,
         cell.policy,
@@ -268,6 +430,16 @@ def _run_cell(cell: SweepCell) -> SimResult:
     )
 
 
+def _run_cell_worker(
+    cell: SweepCell,
+    directive: Optional[ChaosDirective] = None,
+    in_process: bool = False,
+) -> SimResult:
+    """Process-pool worker entry point, with optional chaos injection."""
+    apply_chaos(directive, in_process=in_process)
+    return _run_cell(cell)
+
+
 def _picklable(cell: SweepCell) -> bool:
     try:
         pickle.dumps(cell)
@@ -276,31 +448,90 @@ def _picklable(cell: SweepCell) -> bool:
         return False
 
 
+@dataclasses.dataclass
+class _Inflight:
+    """Bookkeeping for one submitted attempt."""
+
+    index: int
+    attempt: int
+    submitted: float  # time.monotonic() at submit
+
+
+class _CellTimeout(Exception):
+    """Internal marker: the attempt exceeded the per-cell deadline."""
+
+
 class SweepRunner:
-    """Executes sweep cells with fan-out and content-addressed caching."""
+    """Executes sweep cells with fan-out, caching, and fault tolerance.
+
+    Parameters
+    ----------
+    jobs, use_cache, cache_dir:
+        As before: worker count and result-cache configuration.
+    cell_timeout:
+        Seconds one cell may run before its worker is killed and the
+        attempt counts as a (transient) failure.  Defaults to
+        ``REPRO_CELL_TIMEOUT``; unset means no timeout.  Only enforced
+        for pool execution — an in-process cell cannot be preempted.
+    on_error:
+        ``raise`` (default), ``skip`` or ``retry``; see :class:`OnError`.
+    max_attempts:
+        Total tries per cell under retrying policies (first run
+        included).  The final attempt of a retried cell runs in-process.
+    backoff_base, backoff_cap, backoff_seed:
+        Exponential backoff between retries: attempt ``k`` waits
+        ``base * 2**(k-2)`` seconds (capped) scaled by a jitter factor
+        in [0.5, 1.5) drawn deterministically from ``backoff_seed``, the
+        cell fingerprint and the attempt number — identical runs back
+        off identically.
+    chaos:
+        Optional :class:`~repro.sim.chaos.ChaosSchedule` injecting
+        faults by cell tag (tests only).
+    """
 
     def __init__(
         self,
         jobs: Optional[int] = None,
         use_cache: bool = True,
         cache_dir: Optional[Union[str, Path]] = None,
+        *,
+        cell_timeout: Optional[float] = None,
+        on_error: Union[str, OnError] = OnError.RAISE,
+        max_attempts: int = 3,
+        backoff_base: float = 0.25,
+        backoff_cap: float = 4.0,
+        backoff_seed: int = 0,
+        chaos: Optional[ChaosSchedule] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if use_cache else None
         )
+        self.cell_timeout = resolve_cell_timeout(cell_timeout)
+        self.on_error = resolve_on_error(on_error)
+        self.max_attempts = max(1, int(max_attempts))
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_seed = backoff_seed
+        self.chaos = chaos
         self.stats = SweepStats()
+        #: injectable for tests: how retry backoff actually waits
+        self._sleep = time.sleep
 
     # --- execution ---
 
     def run_cells(
         self, cells: Iterable[Union[SweepCell, tuple]]
-    ) -> List[SimResult]:
+    ) -> List[Optional[SimResult]]:
         """Run every cell, in order, returning one result per cell.
 
         Cache hits are returned without simulating; misses are grouped
         by fingerprint (duplicates simulate once), fanned out across the
-        process pool when ``jobs > 1``, and written back to the cache.
+        process pool when ``jobs > 1``, and written back to the cache as
+        they complete.  Under ``on_error='skip'``/``'retry'`` a cell
+        that ultimately fails yields ``None`` in the returned list and a
+        :class:`CellFailure` in ``stats.failures``; under ``'raise'``
+        every returned entry is a :class:`SimResult`.
         """
         start = time.perf_counter()
         cells = [
@@ -325,37 +556,335 @@ class SweepRunner:
             leaders[key] = i
             pending.append(i)
 
-        if pending:
-            parallel = []
-            serial = []
-            if self.jobs > 1 and len(pending) > 1:
-                for i in pending:
-                    (parallel if _picklable(cells[i]) else serial).append(i)
-            else:
-                serial = pending
-            if parallel:
-                workers = min(self.jobs, len(parallel))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    fanned = pool.map(
-                        _run_cell, [cells[i] for i in parallel]
-                    )
-                    for i, result in zip(parallel, fanned):
-                        results[i] = result
-            for i in serial:
-                results[i] = _run_cell(cells[i])
-            self.stats.simulated += len(pending)
-            if self.cache is not None:
-                for i in pending:
-                    self.cache.put(keys[i], results[i])
+        try:
+            if pending:
+                self._execute_pending(cells, keys, pending, results)
+        finally:
+            # Even when aborting (SweepError, KeyboardInterrupt), account
+            # for the batch: completed cells are already in the cache.
+            self.stats.cells += len(cells)
+            self.stats.wall_seconds += time.perf_counter() - start
 
         # Fan shared results back out to duplicate cells.
         for i, key in enumerate(keys):
             if results[i] is None:
                 results[i] = results[leaders[key]]
+        return results
 
-        self.stats.cells += len(cells)
-        self.stats.wall_seconds += time.perf_counter() - start
-        return results  # type: ignore[return-value]
+    def _execute_pending(
+        self,
+        cells: List[SweepCell],
+        keys: List[str],
+        pending: List[int],
+        results: List[Optional[SimResult]],
+    ) -> None:
+        pool_indices: List[int] = []
+        serial_indices: List[int] = []
+        if self.jobs > 1 and len(pending) > 1:
+            for i in pending:
+                (pool_indices if _picklable(cells[i]) else
+                 serial_indices).append(i)
+        elif self.jobs > 1 and pending and _picklable(cells[pending[0]]):
+            # A single pending cell still goes through the pool so the
+            # timeout is enforceable.
+            pool_indices = list(pending)
+        else:
+            serial_indices = list(pending)
+
+        if pool_indices:
+            self._run_pool(cells, keys, pool_indices, results)
+        for i in serial_indices:
+            self._run_serial(cells, keys, i, results)
+
+    # --- pool scheduling ---
+
+    def _run_pool(
+        self,
+        cells: List[SweepCell],
+        keys: List[str],
+        indices: List[int],
+        results: List[Optional[SimResult]],
+    ) -> None:
+        """Per-cell futures with timeout, retry and pool-rebuild."""
+        workers = min(self.jobs, len(indices))
+        queue: "collections.deque[Tuple[int, int]]" = collections.deque(
+            (i, 1) for i in indices
+        )
+        inflight: Dict[object, _Inflight] = {}
+        first_start: Dict[int, float] = {}
+        pool = ProcessPoolExecutor(max_workers=workers)
+        tick = (
+            min(0.25, self.cell_timeout / 4.0)
+            if self.cell_timeout
+            else None
+        )
+        try:
+            while queue or inflight:
+                # Fill free worker slots (at most ``workers`` inflight,
+                # so a submitted future is actually running and its
+                # submit time approximates its start time).
+                while queue and len(inflight) < workers:
+                    index, attempt = queue.popleft()
+                    first_start.setdefault(index, time.perf_counter())
+                    if attempt > 1:
+                        self._sleep(self._backoff_delay(keys[index], attempt))
+                    if attempt > 1 and attempt >= self.max_attempts:
+                        # Final attempt: in-process, outside the pool, so
+                        # a cell that keeps killing workers yields a real
+                        # traceback instead of BrokenProcessPool.
+                        self._run_serial(
+                            cells, keys, index, results,
+                            start_attempt=attempt, first_start=first_start,
+                        )
+                        continue
+                    directive = self._directive(cells[index], attempt)
+                    try:
+                        future = pool.submit(
+                            _run_cell_worker, cells[index], directive
+                        )
+                    except (BrokenProcessPool, RuntimeError):
+                        # Pool died between completions; rebuild and
+                        # retry this submission on the fresh pool.
+                        queue.appendleft((index, attempt))
+                        pool = self._rebuild_pool(pool, workers)
+                        continue
+                    inflight[future] = _Inflight(
+                        index, attempt, time.monotonic()
+                    )
+                if not inflight:
+                    continue
+
+                done, _ = wait(
+                    list(inflight), timeout=tick,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    info = inflight.pop(future)
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        self._attempt_failed(
+                            cells, keys, info, "worker-died", exc,
+                            queue, first_start, transient=True,
+                        )
+                    except Exception as exc:
+                        self._attempt_failed(
+                            cells, keys, info, "error", exc,
+                            queue, first_start, transient=False,
+                        )
+                    else:
+                        self._complete(info.index, keys[info.index],
+                                       result, results)
+                if broken:
+                    # A dead worker poisons every sibling future; keep
+                    # any that completed in the meantime, treat the rest
+                    # as transient worker deaths, and start over on a
+                    # fresh pool.
+                    for future, info in list(inflight.items()):
+                        del inflight[future]
+                        if future.done():
+                            try:
+                                result = future.result()
+                            except Exception as exc:
+                                self._attempt_failed(
+                                    cells, keys, info, "worker-died", exc,
+                                    queue, first_start, transient=True,
+                                )
+                            else:
+                                self._complete(info.index,
+                                               keys[info.index],
+                                               result, results)
+                        else:
+                            self._attempt_failed(
+                                cells, keys, info, "worker-died",
+                                BrokenProcessPool("worker process died"),
+                                queue, first_start, transient=True,
+                            )
+                    pool = self._rebuild_pool(pool, workers)
+                    continue
+
+                if self.cell_timeout:
+                    now = time.monotonic()
+                    expired = [
+                        (future, info)
+                        for future, info in inflight.items()
+                        if now - info.submitted >= self.cell_timeout
+                    ]
+                    if expired:
+                        for future, info in expired:
+                            del inflight[future]
+                            self.stats.timeouts += 1
+                            exc = _CellTimeout(
+                                f"cell exceeded the {self.cell_timeout}s "
+                                f"timeout on attempt {info.attempt}"
+                            )
+                            self._attempt_failed(
+                                cells, keys, info, "timeout", exc,
+                                queue, first_start, transient=True,
+                            )
+                        # A hung worker cannot be preempted individually:
+                        # kill the pool.  Preempted siblings lost their
+                        # work through no fault of their own — resubmit
+                        # them at the same attempt number.
+                        for info in inflight.values():
+                            queue.appendleft((info.index, info.attempt))
+                        inflight.clear()
+                        pool = self._rebuild_pool(pool, workers)
+            pool.shutdown(wait=True)
+        except BaseException:
+            self._kill_pool(pool)
+            raise
+
+    def _rebuild_pool(
+        self, pool: ProcessPoolExecutor, workers: int
+    ) -> ProcessPoolExecutor:
+        self._kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=workers)
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        for process in list(getattr(pool, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:
+                pass
+        pool.shutdown(wait=False, cancel_futures=True)
+
+    # --- serial execution (jobs=1, unpicklable cells, final attempts) ---
+
+    def _run_serial(
+        self,
+        cells: List[SweepCell],
+        keys: List[str],
+        index: int,
+        results: List[Optional[SimResult]],
+        start_attempt: int = 1,
+        first_start: Optional[Dict[int, float]] = None,
+    ) -> None:
+        attempt = start_attempt
+        started = (first_start or {}).get(index, time.perf_counter())
+        while True:
+            directive = self._directive(cells[index], attempt)
+            try:
+                result = _run_cell_worker(
+                    cells[index], directive, in_process=True
+                )
+            except Exception as exc:
+                if (
+                    self.on_error is OnError.RETRY
+                    and attempt < self.max_attempts
+                ):
+                    attempt += 1
+                    self.stats.retries += 1
+                    self._sleep(self._backoff_delay(keys[index], attempt))
+                    continue
+                self._fail(cells[index], keys[index], attempt,
+                           "error", exc, started)
+                return
+            else:
+                self._complete(index, keys[index], result, results)
+                return
+
+    # --- failure handling ---
+
+    def _attempt_failed(
+        self,
+        cells: List[SweepCell],
+        keys: List[str],
+        info: _Inflight,
+        kind: str,
+        exc: BaseException,
+        queue: "collections.deque",
+        first_start: Dict[int, float],
+        *,
+        transient: bool,
+    ) -> None:
+        """One pool attempt failed: retry, record, or abort."""
+        if self.on_error is not OnError.RAISE:
+            retriable = transient or self.on_error is OnError.RETRY
+            if retriable and info.attempt < self.max_attempts:
+                self.stats.retries += 1
+                queue.append((info.index, info.attempt + 1))
+                return
+        self._fail(
+            cells[info.index], keys[info.index], info.attempt, kind, exc,
+            first_start.get(info.index, time.perf_counter()),
+        )
+
+    def _fail(
+        self,
+        cell: SweepCell,
+        key: str,
+        attempts: int,
+        kind: str,
+        exc: BaseException,
+        started: float,
+    ) -> None:
+        """Terminal failure for one cell: raise or record."""
+        failure = CellFailure(
+            fingerprint=key,
+            workload=cell.workload.abbr,
+            policy=cell.policy.name,
+            tag=cell.tag,
+            attempts=attempts,
+            kind=kind,
+            error=_format_exception_chain(exc),
+            context=dict(getattr(exc, "context", {}) or {}),
+            wall_seconds=time.perf_counter() - started,
+        )
+        if self.on_error is OnError.RAISE:
+            raise SweepError(
+                f"sweep cell {key} ({cell.workload.abbr}/"
+                f"{cell.policy.name}) failed ({kind}) on attempt "
+                f"{attempts}: {failure.error}",
+                fingerprint=key,
+                context={
+                    "kind": kind,
+                    "attempts": attempts,
+                    "workload": cell.workload.abbr,
+                    "policy": cell.policy.name,
+                    "tag": cell.tag,
+                },
+            ) from (exc if isinstance(exc, Exception) else None)
+        self.stats.failures.append(failure)
+
+    def _complete(
+        self,
+        index: int,
+        key: str,
+        result: SimResult,
+        results: List[Optional[SimResult]],
+    ) -> None:
+        """Store a finished cell and flush it to the cache immediately,
+        so an abort later in the sweep never discards it."""
+        results[index] = result
+        self.stats.simulated += 1
+        if self.cache is not None:
+            self.cache.put(key, result)
+
+    # --- retry pacing / chaos ---
+
+    def _backoff_delay(self, key: str, attempt: int) -> float:
+        """Deterministic exponential backoff with jitter for ``attempt``.
+
+        Pure in (``backoff_seed``, ``key``, ``attempt``): no wall-clock
+        or process state feeds in, so identical sweeps back off
+        identically and tests can assert exact delays.
+        """
+        base = min(
+            self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 2))
+        )
+        rng = random.Random(f"{self.backoff_seed}:{key}:{attempt}")
+        return base * (0.5 + rng.random())
+
+    def _directive(
+        self, cell: SweepCell, attempt: int
+    ) -> Optional[ChaosDirective]:
+        if self.chaos is None:
+            return None
+        return self.chaos.directive_for(cell.tag, attempt)
 
     def run(
         self,
@@ -367,7 +896,7 @@ class SweepRunner:
         remote_cache: Optional[str] = None,
         seed: int = 7,
         timing: TimingParams = TimingParams(),
-    ) -> SimResult:
+    ) -> Optional[SimResult]:
         """Single-cell convenience mirroring :func:`run_workload`."""
         cell = SweepCell(
             workload,
@@ -384,6 +913,13 @@ class SweepRunner:
 
     def summary_line(self) -> str:
         return self.stats.summary_line()
+
+    def failure_report(self) -> str:
+        """One line per failed cell, empty string when none failed."""
+        return "\n".join(
+            f"[sweep] FAILED {failure.summary()}"
+            for failure in self.stats.failures
+        )
 
     def reset_stats(self) -> None:
         self.stats = SweepStats()
@@ -423,6 +959,6 @@ def set_default_runner(runner: Optional[SweepRunner]) -> None:
 def run_cells(
     cells: Sequence[Union[SweepCell, tuple]],
     runner: Optional[SweepRunner] = None,
-) -> List[SimResult]:
+) -> List[Optional[SimResult]]:
     """Run cells through ``runner`` (default: the shared runner)."""
     return (runner or default_runner()).run_cells(cells)

@@ -44,6 +44,8 @@ class SimResult:
     migrations: int
     blocks_consumed: int
     host_refaults: int = 0
+    #: page faults lost to full GMMU fault buffers (overflow observability)
+    faults_dropped: int = 0
     #: per-component energy (picojoules); see repro.sim.energy
     energy: Optional[object] = None
     selections: Dict[str, SelectionInfo] = field(default_factory=dict)

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import List
 
 from ..arch.address import InterleavePolicy
+from .errors import InvariantViolation
 from .machine import Machine
 
 
@@ -47,11 +48,22 @@ class ValidationReport:
         self.violations.append(message)
 
     def raise_if_failed(self) -> None:
+        """Raise :class:`InvariantViolation` when any check failed.
+
+        The error carries the full violation list plus the check counts
+        as ``context`` (the first ten violations go in the message).
+        """
         if self.violations:
             preview = "\n  ".join(self.violations[:10])
-            raise AssertionError(
+            raise InvariantViolation(
                 f"{len(self.violations)} machine invariant violation(s):\n"
-                f"  {preview}"
+                f"  {preview}",
+                context={
+                    "violations": list(self.violations),
+                    "mappings_checked": self.mappings_checked,
+                    "regions_checked": self.regions_checked,
+                    "free_frames_checked": self.free_frames_checked,
+                },
             )
 
 

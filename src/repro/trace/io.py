@@ -4,19 +4,37 @@ Traces are deterministic given (spec, chiplets, seed), but regenerating a
 large sweep repeatedly is wasteful and external tools may want the raw
 streams.  ``save_trace``/``load_trace`` round-trip a :class:`Trace`
 through a compressed ``.npz`` archive.
+
+``load_trace`` validates the archive up front — key presence, array
+shapes and dtypes, kernel-start bounds — and raises a
+:class:`~repro.errors.TraceFormatError` naming exactly what is wrong,
+instead of letting a corrupt archive surface later as a cryptic numpy
+error mid-simulation.
 """
 
 from __future__ import annotations
 
 import os
+import zipfile
 from typing import Union
 
 import numpy as np
 
+from ..errors import TraceFormatError
 from .workload import Trace
 
 #: Format version embedded in every archive.
 _FORMAT_VERSION = 1
+
+#: Every key a valid archive contains.
+_REQUIRED_KEYS = (
+    "version",
+    "chiplets",
+    "vaddrs",
+    "alloc_ids",
+    "kernel_starts",
+    "n_warp_instructions",
+)
 
 
 def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
@@ -32,19 +50,90 @@ def save_trace(trace: Trace, path: Union[str, os.PathLike]) -> None:
     )
 
 
+def _check_stream(report, name: str, array) -> None:
+    """One access-stream array must be 1-D and integer-typed."""
+    if array.ndim != 1:
+        report.append(f"{name} must be 1-D, got shape {array.shape}")
+    elif not np.issubdtype(array.dtype, np.integer):
+        report.append(f"{name} must be an integer array, got {array.dtype}")
+
+
 def load_trace(path: Union[str, os.PathLike]) -> Trace:
-    """Load a trace previously written by :func:`save_trace`."""
-    with np.load(path) as archive:
+    """Load a trace previously written by :func:`save_trace`.
+
+    Raises :class:`TraceFormatError` when the file is not a readable npz
+    archive, is missing keys, mixes array lengths, or carries the wrong
+    dtypes — every message names the offending key.
+    """
+    try:
+        archive_ctx = np.load(path)
+    except (OSError, ValueError, zipfile.BadZipFile) as exc:
+        raise TraceFormatError(
+            f"cannot read trace archive {os.fspath(path)!r}: {exc}",
+            context={"path": os.fspath(path)},
+        ) from exc
+    with archive_ctx as archive:
+        present = set(archive.files)
+        missing = [k for k in _REQUIRED_KEYS if k not in present]
+        if missing:
+            raise TraceFormatError(
+                f"trace archive {os.fspath(path)!r} is missing "
+                f"key(s) {missing}",
+                context={"path": os.fspath(path), "present": sorted(present)},
+            )
         version = int(archive["version"])
         if version != _FORMAT_VERSION:
-            raise ValueError(
+            raise TraceFormatError(
                 f"unsupported trace format version {version} "
-                f"(expected {_FORMAT_VERSION})"
+                f"(expected {_FORMAT_VERSION})",
+                context={"path": os.fspath(path), "version": version},
+            )
+
+        chiplets = archive["chiplets"]
+        vaddrs = archive["vaddrs"]
+        alloc_ids = archive["alloc_ids"]
+        kernel_starts = archive["kernel_starts"]
+
+        problems: list = []
+        for name, array in (
+            ("chiplets", chiplets),
+            ("vaddrs", vaddrs),
+            ("alloc_ids", alloc_ids),
+            ("kernel_starts", kernel_starts),
+        ):
+            _check_stream(problems, name, array)
+        if not problems:
+            n = len(vaddrs)
+            for name, array in (
+                ("chiplets", chiplets),
+                ("alloc_ids", alloc_ids),
+            ):
+                if len(array) != n:
+                    problems.append(
+                        f"{name} has {len(array)} entries but vaddrs has {n}"
+                    )
+            starts = [int(k) for k in kernel_starts]
+            if any(not 0 <= s <= n for s in starts):
+                problems.append(
+                    f"kernel_starts must lie within [0, {n}], got {starts}"
+                )
+            elif starts != sorted(starts):
+                problems.append(f"kernel_starts must be sorted, got {starts}")
+            n_warp = int(archive["n_warp_instructions"])
+            if n_warp < 0:
+                problems.append(
+                    f"n_warp_instructions must be >= 0, got {n_warp}"
+                )
+        if problems:
+            raise TraceFormatError(
+                f"corrupt trace archive {os.fspath(path)!r}: "
+                + "; ".join(problems),
+                context={"path": os.fspath(path), "problems": problems},
             )
         return Trace(
-            chiplets=archive["chiplets"],
-            vaddrs=archive["vaddrs"],
-            alloc_ids=archive["alloc_ids"],
-            kernel_starts=[int(k) for k in archive["kernel_starts"]],
-            n_warp_instructions=int(archive["n_warp_instructions"]),
+            chiplets=chiplets,
+            vaddrs=vaddrs,
+            alloc_ids=alloc_ids,
+            kernel_starts=starts,
+            n_warp_instructions=n_warp,
         )

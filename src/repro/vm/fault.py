@@ -266,7 +266,19 @@ class DemandPager:
                         return self.allocator.allocate(chiplet, size, pool)
                     except ChipletMemoryExhausted:
                         continue
-            raise ChipletMemoryExhausted(chiplet)
+            raise ChipletMemoryExhausted(
+                chiplet,
+                context={
+                    "chiplet": chiplet,
+                    "frame_size": size,
+                    "pool": pool,
+                    "host_eviction": self.eviction is not None,
+                    "blocks_in_use": {
+                        c: self.allocator.blocks_in_use(c)
+                        for c in range(self.allocator.num_chiplets)
+                    },
+                },
+            )
         best = max(
             candidates,
             key=lambda c: (

@@ -1,0 +1,93 @@
+"""Structured OOM errors on the capacity-bounded path.
+
+When ``capacity_blocks_per_chiplet`` bounds GPU memory and
+``host_eviction`` is off, exhaustion must surface as the structured
+:class:`MemoryExhaustedError` hierarchy with a machine/trace snapshot in
+``context`` — not as an opaque internal failure.
+"""
+
+import pickle
+
+import pytest
+
+from repro.arch.address import AddressLayout, InterleavePolicy
+from repro.errors import MemoryExhaustedError, SimulationError
+from repro.mem.frames import ChipletMemoryExhausted, FrameAllocator
+from repro.policies import StaticPaging
+from repro.sim.engine import run_simulation
+from repro.units import MB, PAGE_64K
+
+from .conftest import contiguous, make_spec
+
+
+def oversubscribed_spec():
+    return make_spec(contiguous(size=16 * MB, waves=2, lines_per_touch=4))
+
+
+class TestAllocatorLevel:
+    def test_exhaustion_is_a_structured_error(self):
+        layout = AddressLayout(
+            num_chiplets=4, policy=InterleavePolicy.NUMA_AWARE
+        )
+        allocator = FrameAllocator(layout, capacity_blocks_per_chiplet=1)
+        allocator.allocate(0, PAGE_64K)
+        with pytest.raises(ChipletMemoryExhausted) as excinfo:
+            for _ in range(64):  # drain chiplet 0's only PF block
+                allocator.allocate(0, PAGE_64K)
+        exc = excinfo.value
+        assert isinstance(exc, MemoryExhaustedError)
+        assert isinstance(exc, SimulationError)
+        assert exc.chiplet == 0
+        assert exc.context["capacity_blocks_per_chiplet"] == 1
+        assert exc.context["blocks_in_use"][0] == 1
+        assert "chiplet 0" in exc.describe()
+        assert "blocks_in_use" in exc.describe()
+
+    def test_error_survives_pickling_with_context(self):
+        """Sweep workers ship errors through a process pool; the
+        snapshot must survive the round trip."""
+        layout = AddressLayout(
+            num_chiplets=4, policy=InterleavePolicy.NUMA_AWARE
+        )
+        allocator = FrameAllocator(layout, capacity_blocks_per_chiplet=1)
+        allocator.allocate(2, PAGE_64K)
+        with pytest.raises(ChipletMemoryExhausted) as excinfo:
+            for _ in range(64):
+                allocator.allocate(2, PAGE_64K)
+        clone = pickle.loads(pickle.dumps(excinfo.value))
+        assert isinstance(clone, ChipletMemoryExhausted)
+        assert clone.chiplet == 2
+        assert clone.context == excinfo.value.context
+        assert str(clone) == str(excinfo.value)
+
+
+class TestEngineLevel:
+    def test_exhaustion_without_eviction_carries_a_trace_snapshot(self):
+        with pytest.raises(MemoryExhaustedError) as excinfo:
+            run_simulation(
+                oversubscribed_spec(),
+                StaticPaging(PAGE_64K),
+                capacity_blocks_per_chiplet=1,  # 8MB GPU for 16MB data
+            )
+        context = excinfo.value.context
+        # Allocator-level state...
+        assert context["host_eviction"] is False
+        assert all(
+            blocks <= 1 for blocks in context["blocks_in_use"].values()
+        )
+        # ...plus the engine's trace position at the moment of failure.
+        assert context["workload"] == "TST"
+        assert context["policy"] == "S-64KB"
+        assert 0 <= context["access_index"] < context["n_accesses"]
+        assert context["vaddr"].startswith("0x")
+        assert context["requester"] in range(4)
+        assert context["page_faults_so_far"] > 0
+
+    def test_eviction_still_rescues_the_run(self):
+        result = run_simulation(
+            oversubscribed_spec(),
+            StaticPaging(PAGE_64K),
+            capacity_blocks_per_chiplet=1,
+            host_eviction=True,
+        )
+        assert result.host_refaults > 0

@@ -1,0 +1,283 @@
+"""Fault-tolerant sweep execution under deterministic chaos injection.
+
+The chaos harness (``repro.sim.chaos``) makes designated worker cells
+raise, hang past the cell timeout, or die mid-run on a fixed schedule.
+These tests are the proof behind the fault-tolerance layer's claims:
+sweeps complete under injected failure, retries fire with bounded
+deterministic backoff, hung cells are killed and reported promptly, and
+no finished cell's result is ever lost from the cache.
+
+Worker count defaults to 4 (the CI chaos job's ``--jobs 4``) and can be
+overridden via ``REPRO_TEST_JOBS``.
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.errors import ChaosError, SweepError
+from repro.sim.chaos import ChaosDirective, ChaosSchedule, FaultKind, apply_chaos
+from repro.sim.parallel import (
+    CellFailure,
+    OnError,
+    ResultCache,
+    SweepCell,
+    SweepRunner,
+    cell_fingerprint,
+)
+from repro.units import MB
+
+from .conftest import make_spec, partitioned
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+JOBS = int(os.environ.get("REPRO_TEST_JOBS", "4"))
+
+
+def chaos_spec(abbr):
+    return make_spec(
+        partitioned(size=8 * MB, waves=2, lines_per_touch=4), abbr=abbr
+    )
+
+
+def chaos_cells(count):
+    """``count`` distinct cells tagged c00..cNN (seed varies the work)."""
+    return [
+        SweepCell(chaos_spec(f"W{i:02d}"), "S-64KB", seed=i, tag=f"c{i:02d}")
+        for i in range(count)
+    ]
+
+
+def make_runner(tmp_path=None, **kwargs):
+    kwargs.setdefault("jobs", JOBS)
+    kwargs.setdefault("backoff_base", 0.01)  # keep test retries fast
+    if tmp_path is None:
+        kwargs.setdefault("use_cache", False)
+        return SweepRunner(**kwargs)
+    return SweepRunner(cache_dir=tmp_path, **kwargs)
+
+
+# --- the headline guarantee: big sweeps survive injected failure -------
+
+
+class TestSweepSurvivesChaos:
+    def test_retry_completes_a_large_faulty_sweep(self, tmp_path):
+        """20+ cells with crashes and worker deaths all complete under
+        --on-error retry, and every result lands in the cache."""
+        cells = chaos_cells(24)
+        chaos = ChaosSchedule(
+            {
+                "c03": (FaultKind.RAISE,),
+                "c07": (FaultKind.DIE,),
+                "c11": (FaultKind.RAISE, FaultKind.RAISE),
+                "c15": (FaultKind.DIE,),
+                "c19": (FaultKind.RAISE,),
+            }
+        )
+        runner = make_runner(
+            tmp_path, on_error=OnError.RETRY, max_attempts=3, chaos=chaos
+        )
+        results = runner.run_cells(cells)
+
+        assert len(results) == 24
+        assert all(result is not None for result in results)
+        assert runner.stats.failures == []
+        assert runner.stats.retries >= len(chaos.faulty_tags())
+        # Every successfully simulated cell is in the cache afterwards.
+        cache = ResultCache(tmp_path)
+        for cell in cells:
+            assert cache.get(cell_fingerprint(cell)) is not None
+
+    def test_chaotic_results_match_a_clean_run(self):
+        """Injected faults never change what a cell computes."""
+        clean = make_runner(jobs=1).run_cells(chaos_cells(4))
+        chaos = ChaosSchedule({"c01": (FaultKind.RAISE,), "c02": ("die",)})
+        runner = make_runner(
+            on_error=OnError.RETRY, max_attempts=3, chaos=chaos
+        )
+        assert runner.run_cells(chaos_cells(4)) == clean
+
+    def test_skip_records_failures_and_continues(self, tmp_path):
+        """Persistently failing cells become CellFailure records; the
+        rest of the sweep completes and is cached."""
+        cells = chaos_cells(6)
+        chaos = ChaosSchedule(
+            {"c01": (FaultKind.RAISE,) * 9, "c04": (FaultKind.RAISE,) * 9}
+        )
+        runner = make_runner(tmp_path, on_error="skip", chaos=chaos)
+        results = runner.run_cells(cells)
+
+        assert results[1] is None and results[4] is None
+        assert all(
+            results[i] is not None for i in range(6) if i not in (1, 4)
+        )
+        failed = {failure.tag for failure in runner.stats.failures}
+        assert failed == {"c01", "c04"}
+        for failure in runner.stats.failures:
+            assert isinstance(failure, CellFailure)
+            assert failure.kind == "error"
+            assert "ChaosError" in failure.error
+            assert failure.fingerprint == cell_fingerprint(
+                cells[1 if failure.tag == "c01" else 4]
+            )
+        assert "2 failed" in runner.summary_line()
+        assert runner.failure_report().count("FAILED") == 2
+        cache = ResultCache(tmp_path)
+        for i in (0, 2, 3, 5):
+            assert cache.get(cell_fingerprint(cells[i])) is not None
+
+    def test_raise_aborts_naming_the_cell_and_keeps_finished_work(
+        self, tmp_path
+    ):
+        """--on-error raise aborts with a SweepError carrying the
+        failing fingerprint; earlier completed cells stay cached."""
+        cells = chaos_cells(6)
+        bad_key = cell_fingerprint(cells[5])
+        chaos = ChaosSchedule({"c05": (FaultKind.RAISE,)})
+        runner = make_runner(tmp_path, jobs=2, on_error="raise", chaos=chaos)
+        with pytest.raises(SweepError) as excinfo:
+            runner.run_cells(cells)
+        assert excinfo.value.fingerprint == bad_key
+        assert bad_key in str(excinfo.value)
+        # With 2 workers and 6 queued cells, the first four completed
+        # (and were flushed) before the last cell was even submitted.
+        cache = ResultCache(tmp_path)
+        for i in range(4):
+            assert cache.get(cell_fingerprint(cells[i])) is not None
+
+
+# --- timeouts ----------------------------------------------------------
+
+
+class TestCellTimeout:
+    def test_hung_cell_is_killed_and_reported_within_twice_the_timeout(
+        self,
+    ):
+        timeout = 1.0
+        chaos = ChaosSchedule({"c00": ("hang",)}, hang_seconds=60.0)
+        runner = make_runner(
+            jobs=2, on_error="skip", max_attempts=1,
+            cell_timeout=timeout, chaos=chaos,
+        )
+        start = time.perf_counter()
+        results = runner.run_cells(chaos_cells(1))
+        elapsed = time.perf_counter() - start
+
+        assert results == [None]
+        assert runner.stats.timeouts == 1
+        assert [failure.kind for failure in runner.stats.failures] == [
+            "timeout"
+        ]
+        assert elapsed < 2 * timeout
+
+    def test_hung_cell_recovers_on_retry(self, tmp_path):
+        """A hang on attempt 1 is killed; the retry completes the cell
+        and the survivor preempted by the pool rebuild also finishes."""
+        cells = chaos_cells(2)
+        chaos = ChaosSchedule({"c00": ("hang",)}, hang_seconds=60.0)
+        runner = make_runner(
+            tmp_path, jobs=2, on_error="retry", max_attempts=2,
+            cell_timeout=1.0, chaos=chaos,
+        )
+        results = runner.run_cells(cells)
+        assert all(result is not None for result in results)
+        assert runner.stats.timeouts == 1
+        assert runner.stats.retries >= 1
+        assert runner.stats.failures == []
+        cache = ResultCache(tmp_path)
+        for cell in cells:
+            assert cache.get(cell_fingerprint(cell)) is not None
+
+    def test_timeout_resolution_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "2.5")
+        assert SweepRunner(jobs=1, use_cache=False).cell_timeout == 2.5
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "0")
+        assert SweepRunner(jobs=1, use_cache=False).cell_timeout is None
+        monkeypatch.setenv("REPRO_CELL_TIMEOUT", "soon")
+        with pytest.raises(ValueError, match="REPRO_CELL_TIMEOUT"):
+            SweepRunner(jobs=1, use_cache=False)
+
+
+# --- retry pacing ------------------------------------------------------
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic_under_a_fixed_seed(self):
+        a = make_runner(jobs=1, backoff_seed=42)
+        b = make_runner(jobs=1, backoff_seed=42)
+        c = make_runner(jobs=1, backoff_seed=43)
+        key = "f" * 64
+        delays_a = [a._backoff_delay(key, k) for k in range(2, 6)]
+        delays_b = [b._backoff_delay(key, k) for k in range(2, 6)]
+        delays_c = [c._backoff_delay(key, k) for k in range(2, 6)]
+        assert delays_a == delays_b
+        assert delays_a != delays_c
+
+    def test_backoff_is_bounded_and_grows(self):
+        runner = make_runner(
+            jobs=1, backoff_base=0.25, backoff_cap=4.0, backoff_seed=7
+        )
+        key = "a" * 64
+        delays = [runner._backoff_delay(key, k) for k in range(2, 12)]
+        assert all(0 < delay < 4.0 * 1.5 for delay in delays)
+        # The uncapped exponential envelope doubles per attempt.
+        assert max(delays) > delays[0]
+
+    def test_retry_sleeps_exactly_the_scheduled_backoff(self):
+        """Integration: the serial retry path waits the deterministic
+        delays — no wall-clock dependence, so recorded sleeps match the
+        pure function exactly."""
+        chaos = ChaosSchedule({"c00": (FaultKind.RAISE, FaultKind.RAISE)})
+        runner = make_runner(
+            jobs=1, on_error="retry", max_attempts=3,
+            backoff_seed=11, chaos=chaos,
+        )
+        slept = []
+        runner._sleep = slept.append
+        results = runner.run_cells(chaos_cells(1))
+        assert results[0] is not None
+        key = cell_fingerprint(chaos_cells(1)[0])
+        assert slept == [
+            runner._backoff_delay(key, 2),
+            runner._backoff_delay(key, 3),
+        ]
+
+
+# --- the harness itself ------------------------------------------------
+
+
+class TestChaosHarness:
+    def test_schedule_is_per_tag_and_per_attempt(self):
+        schedule = ChaosSchedule({"x": ("die", None, "raise")})
+        assert schedule.directive_for("x", 1).kind is FaultKind.DIE
+        assert schedule.directive_for("x", 2) is None
+        assert schedule.directive_for("x", 3).kind is FaultKind.RAISE
+        assert schedule.directive_for("x", 4) is None
+        assert schedule.directive_for("y", 1) is None
+        assert schedule.faulty_tags() == ("x",)
+
+    def test_seeded_schedule_is_reproducible(self):
+        tags = [f"c{i:02d}" for i in range(50)]
+        a = ChaosSchedule.seeded(123, tags, fault_rate=0.4)
+        b = ChaosSchedule.seeded(123, tags, fault_rate=0.4)
+        c = ChaosSchedule.seeded(124, tags, fault_rate=0.4)
+        assert a.faulty_tags() == b.faulty_tags()
+        assert a.faulty_tags() != c.faulty_tags()
+        assert 0 < len(a) < len(tags)
+
+    def test_in_process_chaos_never_hangs_or_kills(self):
+        """HANG and DIE downgrade to ChaosError in-process, so serial
+        fallback attempts cannot take down (or stall) the parent."""
+        for kind in (FaultKind.HANG, FaultKind.DIE):
+            with pytest.raises(ChaosError):
+                apply_chaos(
+                    ChaosDirective(kind, hang_seconds=60.0), in_process=True
+                )
+
+    def test_serial_runner_survives_die_directives(self):
+        chaos = ChaosSchedule({"c00": ("die",) * 9})
+        runner = make_runner(jobs=1, on_error="skip", chaos=chaos)
+        results = runner.run_cells(chaos_cells(1))
+        assert results == [None]
+        assert runner.stats.failures[0].kind == "error"

@@ -76,3 +76,33 @@ class TestFaultBuffer:
         assert buffer.log(0, 0)
         assert not buffer.log(1, 0)
         assert buffer.stalls == 1
+
+    def test_overflow_counts_dropped_faults(self):
+        buffer = FaultBuffer(capacity=2)
+        assert buffer.log(0x1000, 0)
+        assert buffer.log(0x2000, 0)
+        assert not buffer.log(0x3000, 1)
+        assert not buffer.log(0x4000, 1)
+        assert buffer.dropped == 2
+        assert buffer.stalls == 2
+        assert buffer.faults_logged == 2
+        # Draining frees capacity; drops stay counted.
+        buffer.drain()
+        assert buffer.log(0x5000, 0)
+        assert buffer.dropped == 2
+
+    def test_dropped_faults_surface_in_sim_result(self):
+        from repro.policies import StaticPaging
+        from repro.units import MB, PAGE_64K
+
+        from .conftest import make_spec, partitioned, run
+
+        result = run(
+            make_spec(partitioned(size=8 * MB, waves=2, lines_per_touch=4)),
+            StaticPaging(PAGE_64K),
+        )
+        # The engine drains after every fault, so the synchronous loop
+        # never overflows — the stat exists for observability and must
+        # round-trip through the result cache schema.
+        assert result.faults_dropped == 0
+        assert type(result).from_dict(result.to_dict()) == result

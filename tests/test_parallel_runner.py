@@ -8,6 +8,7 @@ changes.
 """
 
 import json
+import warnings
 
 import pytest
 
@@ -232,3 +233,34 @@ def test_summary_line_reports_accounting(tmp_path):
     assert "8 cells" in line
     assert "4 simulated" in line
     assert "4 cache hits (50.0%)" in line
+
+
+# --- cache degradation --------------------------------------------------
+
+
+def test_unwritable_cache_degrades_instead_of_crashing(tmp_path):
+    """A cache rooted under a regular file cannot mkdir: the first put
+    warns once, flips to degraded mode, and the sweep still completes."""
+    blocker = tmp_path / "blocker"
+    blocker.write_text("not a directory")
+    runner = SweepRunner(jobs=1, cache_dir=blocker / "cache")
+    with pytest.warns(RuntimeWarning, match="caching disabled"):
+        results = runner.run_cells(sweep_cells())
+    assert all(r is not None for r in results)
+    assert runner.stats.simulated == 4
+    assert runner.cache.write_disabled
+
+    # Subsequent puts are silent no-ops, not repeated warnings.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        runner.cache.put("ab" * 32, results[0])
+
+
+def test_degraded_cache_still_serves_reads(tmp_path):
+    cell = SweepCell(small_spec(), StaticPaging(PAGE_64K))
+    key = cell_fingerprint(cell)
+    cache = ResultCache(tmp_path)
+    result = SweepRunner(jobs=1, use_cache=False).run_cells([cell])[0]
+    cache.put(key, result)
+    cache.write_disabled = True
+    assert cache.get(key) == result

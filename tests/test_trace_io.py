@@ -59,3 +59,85 @@ class TestRoundTrip:
         )
         with pytest.raises(ValueError, match="version"):
             load_trace(path)
+
+
+class TestCorruptArchives:
+    """load_trace validates up front and names what is wrong."""
+
+    def _save_fields(self, path, **overrides):
+        fields = dict(
+            version=np.int64(1),
+            chiplets=np.zeros(4, dtype=np.int8),
+            vaddrs=np.zeros(4, dtype=np.int64),
+            alloc_ids=np.zeros(4, dtype=np.int16),
+            kernel_starts=np.asarray([0], dtype=np.int64),
+            n_warp_instructions=np.int64(1),
+        )
+        fields.update(overrides)
+        fields = {k: v for k, v in fields.items() if v is not None}
+        np.savez_compressed(path, **fields)
+
+    def test_missing_key(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        self._save_fields(path, alloc_ids=None)
+        with pytest.raises(TraceFormatError, match="alloc_ids"):
+            load_trace(path)
+
+    def test_length_mismatch(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        self._save_fields(path, chiplets=np.zeros(3, dtype=np.int8))
+        with pytest.raises(TraceFormatError, match="3 entries.*vaddrs has 4"):
+            load_trace(path)
+
+    def test_wrong_dtype(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        self._save_fields(path, vaddrs=np.zeros(4, dtype=np.float64))
+        with pytest.raises(TraceFormatError, match="vaddrs.*integer"):
+            load_trace(path)
+
+    def test_out_of_range_kernel_starts(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        self._save_fields(
+            path, kernel_starts=np.asarray([0, 99], dtype=np.int64)
+        )
+        with pytest.raises(TraceFormatError, match="kernel_starts"):
+            load_trace(path)
+
+    def test_unsorted_kernel_starts(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        self._save_fields(
+            path, kernel_starts=np.asarray([2, 0], dtype=np.int64)
+        )
+        with pytest.raises(TraceFormatError, match="sorted"):
+            load_trace(path)
+
+    def test_not_an_archive(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        path = tmp_path / "t.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        from repro.errors import TraceFormatError
+
+        with pytest.raises(TraceFormatError, match="cannot read"):
+            load_trace(tmp_path / "absent.npz")
+
+    def test_format_error_is_still_a_value_error(self, tmp_path):
+        """Callers that predate the hierarchy catch ValueError."""
+        path = tmp_path / "t.npz"
+        self._save_fields(path, version=np.int64(99))
+        with pytest.raises(ValueError, match="version"):
+            load_trace(path)
