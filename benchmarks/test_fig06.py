@@ -1,7 +1,7 @@
 """Benchmark: regenerate Figure 6 (full page-size sweep, 15 workloads)."""
 
 from repro.experiments import fig06_page_size_sweep
-from repro.units import KB, MB
+from repro.units import KB
 
 from .conftest import run_experiment
 

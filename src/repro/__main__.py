@@ -28,15 +28,22 @@ raise|skip|retry`` decides whether a failing cell aborts the sweep, is
 recorded and skipped, or is retried with exponential backoff
 (``--retries`` extra attempts), and completed cells are always flushed
 to the result cache — an aborted sweep resumes from where it stopped.
+
+``--telemetry`` (default: the ``REPRO_TELEMETRY`` env flag) records
+per-stage pipeline telemetry and writes one JSON file per simulation
+into ``--telemetry-dir`` (default ``REPRO_TELEMETRY_DIR`` or
+``./telemetry``).
 """
 
 from __future__ import annotations
 
 import argparse
 import inspect
+import json
+import os
 import sys
+from pathlib import Path
 
-from . import experiments
 from .render import render_bars
 from .sim.parallel import ResultCache, SweepRunner
 from .sim.runner import resolve_policy, run_workload
@@ -79,6 +86,8 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
         cell_timeout=args.cell_timeout,
         on_error=args.on_error,
         max_attempts=args.retries + 1,
+        telemetry=args.telemetry,
+        telemetry_dir=args.telemetry_dir,
     )
 
 
@@ -111,6 +120,42 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="extra attempts for retried cells (default: 2; the last "
              "retry runs in-process)",
     )
+    _add_telemetry_flags(parser)
+
+
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--telemetry", action="store_true", default=None,
+        help="record per-stage pipeline telemetry and dump one JSON "
+             "file per simulation (default: the REPRO_TELEMETRY env flag)",
+    )
+    parser.add_argument(
+        "--telemetry-dir", default=None, metavar="DIR",
+        help="directory for telemetry dumps "
+             "(default: REPRO_TELEMETRY_DIR or ./telemetry)",
+    )
+
+
+def _dump_run_telemetry(result, telemetry_dir) -> Path:
+    """Write one telemetry JSON for a ``run``-command simulation."""
+    root = Path(
+        telemetry_dir
+        if telemetry_dir is not None
+        else os.environ.get("REPRO_TELEMETRY_DIR", "telemetry")
+    )
+    root.mkdir(parents=True, exist_ok=True)
+    path = root / f"{result.workload}-{result.policy}.json"
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(
+            {
+                "workload": result.workload,
+                "policy": result.policy,
+                "telemetry": result.telemetry,
+            },
+            fh,
+            indent=2,
+        )
+    return path
 
 
 def _print_failures(runner: SweepRunner) -> None:
@@ -159,7 +204,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"{'policy':20s} {'perf':>8s} {'speedup':>8s} {'remote':>7s} "
           f"{'TLB MPKI':>9s}")
     for name in policies:
-        result = run_workload(spec, resolve_policy(name), seed=args.seed)
+        result = run_workload(
+            spec, resolve_policy(name), seed=args.seed,
+            telemetry=args.telemetry,
+        )
         if baseline is None:
             baseline = result
         print(
@@ -172,6 +220,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"{k}={v.label}" for k, v in result.selections.items()
             )
             print(f"{'':20s} selections: {chosen}")
+        if result.telemetry is not None:
+            path = _dump_run_telemetry(result, args.telemetry_dir)
+            print(f"{'':20s} telemetry: {path}")
     return 0
 
 
@@ -248,6 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="policy name (repeatable); default: S-64KB, S-2MB, CLAP",
     )
     run_parser.add_argument("--seed", type=int, default=7)
+    _add_telemetry_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 page-size sweep")
     sweep_parser.add_argument("workload")

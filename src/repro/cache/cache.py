@@ -92,7 +92,7 @@ class SetAssociativeCache:
             # Large range (e.g. a 2MB page): scanning resident entries is
             # cheaper than probing every line in the range.
             for entries in self._sets:
-                for line in [l for l in entries if first <= l <= last]:
+                for line in [e for e in entries if first <= e <= last]:
                     del entries[line]
                     dropped += 1
             return dropped

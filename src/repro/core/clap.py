@@ -85,7 +85,12 @@ class _AllocState:
 
 
 class ClapPolicy(PlacementPolicy):
-    """Chiplet-Locality Aware Page Placement."""
+    """Chiplet-Locality Aware Page Placement.
+
+    Contract note: ``coalescing`` is declared per *instance* (set in
+    ``__init__`` from ``use_coalescing``) — the no-coalescing ablation
+    turns the hardware off without a separate class.
+    """
 
     name = "CLAP"
     coalescing = True

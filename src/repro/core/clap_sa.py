@@ -16,7 +16,7 @@ shared structures keep the zero-overhead static path.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import ClassVar, Dict, Optional
 
 import numpy as np
 
@@ -35,7 +35,8 @@ class ClapSaPolicy(PlacementPolicy):
     """Static-analysis profiling + tree-based size selection."""
 
     name = "CLAP-SA"
-    coalescing = True
+    #: contract override: CLAP's coalescing hardware is assumed present
+    coalescing: ClassVar[bool] = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -91,6 +91,17 @@ class PolicyMappingError(SimulationError, RuntimeError):
     faulting address — a policy bug, not a capacity problem."""
 
 
+class PolicyContractError(SimulationError, TypeError):
+    """A policy does not satisfy the placement-policy contract.
+
+    Raised at attach time by ``repro.policies.contract.validate_policy``
+    — before any machine state is built — with a ``context`` listing
+    every missing hook and mistyped capability flag at once.  Also a
+    :class:`TypeError`: the object passed as a policy has the wrong
+    shape.
+    """
+
+
 class SweepError(SimulationError):
     """A sweep aborted because a cell failed under ``on_error='raise'``.
 

@@ -17,6 +17,12 @@ CLAP itself lives in :mod:`repro.core`; this package holds the baselines:
 """
 
 from .base import PlacementPolicy
+from .contract import (
+    CAPABILITY_FLAGS,
+    PolicyCapabilities,
+    PolicyProtocol,
+    validate_policy,
+)
 from .static_paging import StaticPaging
 from .ideal import IdealPolicy
 from .mgvm import MgvmPolicy
@@ -27,6 +33,10 @@ from .sa_static import SaStaticPolicy
 
 __all__ = [
     "PlacementPolicy",
+    "PolicyProtocol",
+    "PolicyCapabilities",
+    "CAPABILITY_FLAGS",
+    "validate_policy",
     "StaticPaging",
     "IdealPolicy",
     "MgvmPolicy",

@@ -14,6 +14,8 @@ Model: page ``i`` of an allocation maps to chiplet ``i mod n``;
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 from ..units import PAGE_64K
 from ..vm.va_space import Allocation
 from .base import PlacementPolicy
@@ -23,7 +25,8 @@ class BarreChordPolicy(PlacementPolicy):
     """Uniform page interleaving with pattern-coalesced translations."""
 
     name = "F-Barre"
-    pattern_coalescing = True
+    #: contract override: chord entries over uniformly interleaved pages
+    pattern_coalescing: ClassVar[bool] = True
 
     def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
         page_index = (vaddr - allocation.base) // PAGE_64K

@@ -6,12 +6,21 @@ size / contiguity) each faulting page is mapped.  It also declares which
 translation features its hardware assumes (TLB coalescing, pattern
 coalescing, ideal reach, PTE placement) and may react to epochs and
 kernel boundaries (migration-based schemes).
+
+The formal contract lives in :mod:`repro.policies.contract`:
+:class:`PolicyProtocol` is the structural type, ``validate_policy``
+checks an object against it at attach time (raising a typed
+:class:`~repro.errors.PolicyContractError`), and
+:class:`PolicyCapabilities` is the immutable per-run snapshot of the
+capability flags the pipeline stages read.  :class:`PlacementPolicy` is
+the convenient ABC satisfying the protocol; policies need not subclass
+it as long as they pass validation.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Optional, Set
+from typing import ClassVar, Dict, Optional, Set
 
 from ..gmmu.walker import PtePlacement
 from ..sim.machine import Machine
@@ -19,25 +28,37 @@ from ..sim.results import SelectionInfo
 from ..trace.workload import Workload
 from ..units import PAGE_2M, PAGE_64K
 from ..vm.va_space import Allocation
+from .contract import (  # noqa: F401  (re-exported: the policy surface)
+    CAPABILITY_FLAGS,
+    PolicyCapabilities,
+    PolicyProtocol,
+    REQUIRED_HOOKS,
+    validate_policy,
+)
 
 
 class PlacementPolicy(abc.ABC):
-    """Base class for all page placement policies."""
+    """Base class for all page placement policies.
+
+    Implements :class:`~repro.policies.contract.PolicyProtocol`; the
+    class-level capability flags below are the contract's defaults, and
+    subclasses override the ones their hardware model changes.
+    """
 
     name: str = "base"
     #: CLAP-style TLB coalescing of deliberately contiguous pages.
-    coalescing: bool = False
+    coalescing: ClassVar[bool] = False
     #: Barre-Chord-style coalescing of uniformly interleaved pages.
-    pattern_coalescing: bool = False
+    pattern_coalescing: ClassVar[bool] = False
     #: 'Ideal' configuration: 2MB reach for 64KB placement, free.
-    ideal_translation: bool = False
+    ideal_translation: ClassVar[bool] = False
     #: PTE page placement seen by the walkers.
-    pte_placement: PtePlacement = PtePlacement.DISTRIBUTED
+    pte_placement: ClassVar[PtePlacement] = PtePlacement.DISTRIBUTED
     #: Whether the engine should maintain per-page access statistics
     #: (needed by migration-based policies; costs simulation time).
-    wants_page_stats: bool = False
+    wants_page_stats: ClassVar[bool] = False
     #: Number of epochs per kernel at which :meth:`on_epoch` fires.
-    num_epochs: int = 10
+    num_epochs: ClassVar[int] = 10
 
     def __init__(self) -> None:
         self.machine: Optional[Machine] = None
@@ -46,7 +67,14 @@ class PlacementPolicy(abc.ABC):
     # --- lifecycle ---
 
     def attach(self, machine: Machine, workload: Workload) -> None:
-        """Bind the policy to a machine and workload before the run."""
+        """Bind the policy to a machine and workload before the run.
+
+        Validates the concrete policy against the formal contract first
+        — a subclass that clobbered a capability flag with the wrong
+        type fails here with a :class:`PolicyContractError`, not deep
+        inside the per-access loop.
+        """
+        validate_policy(self)
         self.machine = machine
         self.workload = workload
         machine.pager.native_sizes = self.native_sizes()
@@ -71,7 +99,11 @@ class PlacementPolicy(abc.ABC):
         page_stats: Dict[int, list],
         epoch_remote_ratio: float,
     ) -> None:
-        """Called every trace epoch with per-page access counts."""
+        """Called every trace epoch with per-page access counts.
+
+        The pipeline also emits one closing call for a partial tail
+        epoch, so end-of-trace statistics always arrive.
+        """
 
     def on_kernel(self, kernel_index: int) -> None:
         """Called at each kernel boundary (multi-kernel scenarios)."""

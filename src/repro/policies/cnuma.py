@@ -24,7 +24,7 @@ to it; if the remote ratio is very low the size grows back.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set
+from typing import ClassVar, Dict, List, Set
 
 from ..units import PAGE_2M, PAGE_64K, align_down
 from ..vm.va_space import Allocation
@@ -51,7 +51,8 @@ _INTERMEDIATE_LADDER = (
 class CNumaPolicy(PlacementPolicy):
     """Reactive global page sizing with free migrations."""
 
-    wants_page_stats = True
+    #: contract override: epoch page stats feed the split/migrate pass
+    wants_page_stats: ClassVar[bool] = True
 
     def __init__(self, intermediate: bool = False) -> None:
         super().__init__()

@@ -15,7 +15,7 @@ there free of charge.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import ClassVar, Dict, List
 
 from ..units import PAGE_64K
 from ..vm.va_space import Allocation
@@ -31,7 +31,8 @@ class GritPolicy(PlacementPolicy):
     """Fixed 64KB pages with history-guided zero-cost migration."""
 
     name = "GRIT"
-    wants_page_stats = True
+    #: contract override: per-page history drives epoch migrations
+    wants_page_stats: ClassVar[bool] = True
 
     def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
         self.machine.pager.map_single(

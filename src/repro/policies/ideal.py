@@ -8,6 +8,8 @@ what any page-size selection scheme — CLAP included — can achieve.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 from ..units import PAGE_64K
 from ..vm.va_space import Allocation
 from .base import PlacementPolicy
@@ -17,7 +19,8 @@ class IdealPolicy(PlacementPolicy):
     """64KB first-touch placement with free 2MB translation reach."""
 
     name = "Ideal"
-    ideal_translation = True
+    #: contract override: magic 2MB reach at 64KB placement granularity
+    ideal_translation: ClassVar[bool] = True
 
     def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
         self.machine.pager.map_single(

@@ -13,6 +13,8 @@ page-walk step is served from the walking chiplet.
 
 from __future__ import annotations
 
+from typing import ClassVar
+
 from ..gmmu.walker import PtePlacement
 from ..units import PAGE_64K
 from ..vm.va_space import Allocation
@@ -23,7 +25,8 @@ class MgvmPolicy(PlacementPolicy):
     """64KB first-touch with a fully local translation path."""
 
     name = "MGvm"
-    pte_placement = PtePlacement.LOCAL
+    #: contract override: every page-walk step served chiplet-locally
+    pte_placement: ClassVar[PtePlacement] = PtePlacement.LOCAL
 
     def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
         self.machine.pager.map_single(

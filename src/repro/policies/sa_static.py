@@ -21,7 +21,11 @@ from .base import PlacementPolicy
 
 
 class SaStaticPolicy(PlacementPolicy):
-    """Predicted-owner placement with a fixed page size."""
+    """Predicted-owner placement with a fixed page size.
+
+    Contract note: ``name`` is derived per instance (``SA-64KB`` /
+    ``SA-2MB``); capability flags keep the contract defaults.
+    """
 
     def __init__(self, page_size: int) -> None:
         super().__init__()
@@ -31,7 +35,7 @@ class SaStaticPolicy(PlacementPolicy):
                 f"{size_label(page_size)}"
             )
         self.page_size = page_size
-        self.name = f"SA-{size_label(page_size)}"
+        self.name: str = f"SA-{size_label(page_size)}"
         self._oracle: StaticPlacementOracle = None  # set at attach
         self._owner_maps: Dict[int, np.ndarray] = {}
 

@@ -24,7 +24,12 @@ from .base import PlacementPolicy
 
 
 class StaticPaging(PlacementPolicy):
-    """Fixed page size, first-touch chiplet."""
+    """Fixed page size, first-touch chiplet.
+
+    Contract note: ``name`` is derived per instance (``S-64KB`` …); all
+    capability flags keep the :class:`PlacementPolicy` defaults — static
+    paging assumes no coalescing hardware and distributed PTEs.
+    """
 
     def __init__(self, page_size: int) -> None:
         super().__init__()
@@ -36,7 +41,7 @@ class StaticPaging(PlacementPolicy):
                 f"{size_label(page_size)}"
             )
         self.page_size = page_size
-        self.name = f"S-{size_label(page_size)}"
+        self.name: str = f"S-{size_label(page_size)}"
         #: demand-paging granularity: 64KB sub-pages for large sizes,
         #: the page itself for 4KB/64KB (Figure 5).
         self.base_size = min(page_size, PAGE_64K)

@@ -12,8 +12,6 @@ profiling (Section 5.2).
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from ..trace.workload import Pattern, StructureSpec, Workload

@@ -1,28 +1,32 @@
-"""The trace-driven simulation engine.
+"""The trace-driven simulation driver.
 
-Replays a workload trace through the full memory path of Figure 3: for
-every access, (1) resolve page faults through the placement policy,
-(2) translate through the requester chiplet's TLB path — walking the page
-table and updating the Remote Tracker on misses — and (3) fetch the data
-through the L1 / remote-cache / home-L2 / DRAM path, paying ring latency
-for remote traffic.  Latencies accumulate into :class:`CycleCounters`
-and are folded into a cycle count by the timing model.
+``run_simulation`` wires one run together: it validates the policy
+against the formal contract (:mod:`repro.policies.contract`), builds the
+:class:`~repro.sim.machine.Machine` and binds the workload, replays the
+trace through the staged :class:`~repro.sim.pipeline.AccessPipeline`
+(fault → translation → data → accounting, per Figure 3), and folds the
+accumulated :class:`~repro.sim.pipeline.SimState` into a
+:class:`~repro.sim.results.SimResult` under the analytic timing model.
+
+The per-access mechanics live in :mod:`repro.sim.pipeline`; telemetry
+collection (``--telemetry`` / ``REPRO_TELEMETRY``) in
+:mod:`repro.sim.telemetry`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Union
+from typing import Optional, Union
 
 from ..arch.address import InterleavePolicy
 from ..config import GPUConfig, baseline_config
-from ..tlb.units import unit_for, valid_mask_for
+from ..policies.contract import validate_policy
 from ..trace.workload import Trace, Workload, WorkloadSpec
-from ..units import PAGE_64K
 from .energy import energy_report
-from .errors import MemoryExhaustedError, PolicyMappingError
 from .machine import Machine
+from .pipeline import AccessPipeline, SimState
 from .results import SimResult
-from .timing import CycleCounters, TimingParams, total_cycles
+from .telemetry import Instrumentation, resolve_instrumentation
+from .timing import TimingParams, total_cycles
 
 
 def run_simulation(
@@ -33,11 +37,13 @@ def run_simulation(
     interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
     remote_cache: Optional[str] = None,
     seed: int = 7,
-    timing: TimingParams = TimingParams(),
+    timing: Optional[TimingParams] = None,
     trace: Optional[Trace] = None,
     capacity_blocks_per_chiplet: Optional[int] = None,
     host_eviction: bool = False,
     multi_page_tlb: bool = False,
+    instrumentation: Optional[Instrumentation] = None,
+    telemetry: Optional[bool] = None,
 ) -> SimResult:
     """Run ``policy`` on ``workload`` and return the measured result.
 
@@ -49,14 +55,23 @@ def run_simulation(
     studies); with ``host_eviction`` the pager evicts least-recently-
     mapped blocks to host memory instead of failing, and refaults pay a
     host-transfer penalty (Section 4.7).
+
+    ``instrumentation`` attaches an explicit observability hook;
+    ``telemetry=True`` (or ``REPRO_TELEMETRY=1`` when left as None)
+    records the standard per-stage telemetry into
+    ``SimResult.telemetry``.  Telemetry never affects simulated results
+    — only wall time.
     """
+    if timing is None:
+        timing = TimingParams()
+    capabilities = validate_policy(policy)
     if config is None:
         config = baseline_config()
     machine = Machine(
         config,
         interleave=interleave,
         remote_cache=remote_cache,
-        pte_placement=policy.pte_placement,
+        pte_placement=capabilities.pte_placement,
         capacity_blocks_per_chiplet=capacity_blocks_per_chiplet,
         multi_page_tlb=multi_page_tlb,
     )
@@ -75,201 +90,50 @@ def run_simulation(
         trace = workload.build_trace(seed)
     policy.attach(machine, workload)
 
-    allocations = {
-        a.alloc_id: a for a in workload.allocations.values()
-    }
-    counters = CycleCounters(
-        n_warp_instructions=trace.n_warp_instructions
+    state = SimState.create(
+        machine, workload, policy, capabilities, trace, interleave
     )
+    pipeline = AccessPipeline(
+        state, resolve_instrumentation(instrumentation, telemetry)
+    )
+    pipeline.run()
+    return _fold_result(state, pipeline, timing)
 
-    # Localise hot-path state.
-    page_table = machine.page_table
-    lookup = page_table.lookup
-    paths = machine.paths
-    walkers = machine.walkers
-    l1_caches = machine.l1_caches
-    l2_caches = machine.l2_caches
-    remote_caches = machine.remote_caches
-    ring = machine.ring
-    layout = machine.layout
-    dram = machine.dram
-    fault_buffers = machine.fault_buffers
-    l1_latency = config.l1_latency
-    l2_latency = config.l2_latency
-    coalescing = policy.coalescing
-    pattern_coalescing = policy.pattern_coalescing
-    ideal = policy.ideal_translation
-    wants_stats = policy.wants_page_stats
-    num_chiplets = config.num_chiplets
-    naive_interleave = interleave is InterleavePolicy.NAIVE
 
-    chiplets = trace.chiplets
-    vaddrs = trace.vaddrs
-    alloc_ids = trace.alloc_ids
-    n = len(trace)
-
-    page_stats: Dict[int, List[int]] = {}
-    per_structure: Dict[int, List[int]] = {
-        aid: [0, 0] for aid in allocations
-    }
-    translation_cycles = 0
-    data_cycles = 0
-    remote_placement = 0
-    remote_on_ring = 0
-    faults = 0
+def _fold_result(
+    state: SimState, pipeline: AccessPipeline, timing: TimingParams
+) -> SimResult:
+    """Assemble the :class:`SimResult` from the pipeline's final state."""
+    machine = state.machine
+    workload = state.workload
     eviction = machine.pager.eviction
-
-    kernel_starts = set(trace.kernel_starts)
-    epoch_len = max(1, n // max(policy.num_epochs, 1))
-    kernel_index = -1
-    epoch_index = 0
-    epoch_remote = 0
-    epoch_accesses = 0
-
-    for i in range(n):
-        if i in kernel_starts:
-            kernel_index += 1
-            policy.on_kernel(kernel_index)
-        requester = int(chiplets[i])
-        vaddr = int(vaddrs[i])
-        record = lookup(vaddr)
-        if record is None:
-            fault_buffers[requester].log(vaddr, requester)
-            try:
-                policy.place(
-                    vaddr, requester, allocations[int(alloc_ids[i])]
-                )
-            except MemoryExhaustedError as exc:
-                # Enrich the allocator's error with the trace position so
-                # a failed sweep cell is post-mortem debuggable on its own.
-                exc.context.update(
-                    workload=workload.spec.abbr,
-                    policy=policy.name,
-                    access_index=i,
-                    n_accesses=n,
-                    vaddr=hex(vaddr),
-                    requester=requester,
-                    page_faults_so_far=faults,
-                    host_eviction=eviction is not None,
-                )
-                raise
-            fault_buffers[requester].drain()
-            record = lookup(vaddr)
-            if record is None:
-                raise PolicyMappingError(
-                    f"policy {policy.name!r} failed to map {vaddr:#x}",
-                    context={
-                        "workload": workload.spec.abbr,
-                        "policy": policy.name,
-                        "access_index": i,
-                        "vaddr": hex(vaddr),
-                        "requester": requester,
-                    },
-                )
-            faults += 1
-            if eviction is not None:
-                eviction.consume_host_refault(vaddr, record.page_size)
-
-        unit = unit_for(
-            vaddr,
-            record,
-            coalescing=coalescing,
-            pattern_coalescing=pattern_coalescing,
-            ideal=ideal,
-        )
-        walker = walkers[requester]
-        result = paths[requester].access(
-            unit,
-            walk=lambda: walker.walk(vaddr, record.alloc_id, record.chiplet),
-            valid_mask=lambda: valid_mask_for(unit, record, page_table),
-        )
-        translation_cycles += result.latency
-
-        paddr = record.paddr + (vaddr - record.va_base)
-        if naive_interleave:
-            # Monolithic-style 256B interleaving: the chiplet serving a
-            # line follows the fine interleave bits, not the frame —
-            # placement intent is physically unenforceable (Section 2.6).
-            home = layout.chiplet_of_paddr(paddr)
-        else:
-            home = record.chiplet
-        remote = home != requester
-        stats = per_structure[record.alloc_id]
-        stats[0] += 1
-        if remote:
-            remote_placement += 1
-            stats[1] += 1
-            epoch_remote += 1
-        epoch_accesses += 1
-
-        if l1_caches[requester].access(paddr):
-            data_cycles += l1_latency
-        else:
-            served_locally = False
-            if remote and remote_caches is not None:
-                if remote_caches[requester].access(paddr):
-                    data_cycles += l2_latency
-                    served_locally = True
-            if not served_locally:
-                cost = 0
-                if remote:
-                    cost += 2 * ring.latency(requester, home)
-                    ring.record_transfer(home, requester, 160)
-                    remote_on_ring += 1
-                if l2_caches[home].access(paddr):
-                    cost += l2_latency
-                else:
-                    channel = layout.channel_of_paddr(paddr)
-                    cost += l2_latency + dram.access(channel, paddr)
-                data_cycles += cost
-
-        if wants_stats:
-            page_base = vaddr & ~(PAGE_64K - 1)
-            counts = page_stats.get(page_base)
-            if counts is None:
-                counts = [0] * num_chiplets
-                page_stats[page_base] = counts
-            counts[requester] += 1
-
-        if (i + 1) % epoch_len == 0:
-            ratio = epoch_remote / epoch_accesses if epoch_accesses else 0.0
-            policy.on_epoch(epoch_index, page_stats, ratio)
-            epoch_index += 1
-            epoch_remote = 0
-            epoch_accesses = 0
-            if wants_stats:
-                page_stats = {}
-
-    counters.n_accesses = n
-    counters.translation_cycles = translation_cycles
-    counters.data_cycles = data_cycles
-    counters.remote_accesses = remote_on_ring
-    counters.migration_cycles = machine.pager.migration.total_cycles()
-    if eviction is not None:
-        counters.host_fault_cycles = eviction.stats.host_fault_cycles()
-    cycles = total_cycles(counters, ring, timing)
+    counters = state.fold_counters()
+    cycles = total_cycles(counters, machine.ring, timing)
 
     coverage = None
-    if remote_caches is not None:
-        lookups = sum(rc.remote_lookups for rc in remote_caches)
-        hits = sum(rc.remote_hits for rc in remote_caches)
+    if machine.remote_caches is not None:
+        lookups = sum(rc.remote_lookups for rc in machine.remote_caches)
+        hits = sum(rc.remote_hits for rc in machine.remote_caches)
         coverage = hits / lookups if lookups else 0.0
 
     name_by_id = {
         a.alloc_id: name for name, a in workload.allocations.items()
     }
+    telemetry_data = None
+    if pipeline.telemetry is not None:
+        telemetry_data = pipeline.telemetry.snapshot()
     return SimResult(
         workload=workload.spec.abbr,
-        policy=policy.name,
+        policy=state.capabilities.name,
         cycles=cycles,
-        n_accesses=n,
-        n_warp_instructions=trace.n_warp_instructions,
-        remote_accesses=remote_placement,
-        translation_cycles=translation_cycles,
-        data_cycles=data_cycles,
+        n_accesses=counters.n_accesses,
+        n_warp_instructions=state.trace.n_warp_instructions,
+        remote_accesses=state.remote_placement,
+        translation_cycles=state.translation_cycles,
+        data_cycles=state.data_cycles,
         l2_misses=machine.l2_misses,
         l2_tlb_misses=machine.l2_tlb_misses,
-        page_faults=faults,
+        page_faults=state.faults,
         migrations=(
             machine.pager.migration.pages_migrated
             + machine.pager.migration.pages_migrated_free
@@ -277,12 +141,14 @@ def run_simulation(
         host_refaults=(
             eviction.stats.host_refaults if eviction is not None else 0
         ),
-        faults_dropped=sum(fb.dropped for fb in fault_buffers),
+        faults_dropped=sum(fb.dropped for fb in machine.fault_buffers),
         energy=energy_report(machine),
         blocks_consumed=machine.allocator.blocks_consumed,
-        selections=policy.selection_report(),
+        selections=state.policy.selection_report(),
         per_structure_remote={
-            name_by_id[aid]: tuple(v) for aid, v in per_structure.items()
+            name_by_id[aid]: tuple(v)
+            for aid, v in state.per_structure.items()
         },
         remote_cache_coverage=coverage,
+        telemetry=telemetry_data,
     )

@@ -10,6 +10,7 @@ from ..errors import (
     ChaosError,
     InvariantViolation,
     MemoryExhaustedError,
+    PolicyContractError,
     PolicyMappingError,
     SimulationError,
     SweepError,
@@ -21,6 +22,7 @@ __all__ = [
     "InvariantViolation",
     "MemoryExhaustedError",
     "TraceFormatError",
+    "PolicyContractError",
     "PolicyMappingError",
     "SweepError",
     "ChaosError",

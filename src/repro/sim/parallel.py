@@ -79,17 +79,20 @@ from typing import (
 from ..arch.address import InterleavePolicy
 from ..config import GPUConfig
 from ..errors import SweepError
+from ..policies.contract import CAPABILITY_FLAGS
 from ..trace.suite import workload_by_name
 from ..trace.workload import WorkloadSpec
 from .chaos import ChaosDirective, ChaosSchedule, apply_chaos
 from .results import SimResult
 from .runner import resolve_policy, run_workload
+from .telemetry import telemetry_enabled_by_env
 from .timing import TimingParams
 
 #: Bump when the cache entry layout or :meth:`SimResult.to_dict` schema
 #: changes; old entries then miss and are re-simulated.  v2: SimResult
-#: gained ``faults_dropped``.
-CACHE_SCHEMA_VERSION = 2
+#: gained ``faults_dropped``.  v3: SimResult gained ``telemetry``
+#: (always stored as None — see :meth:`SweepRunner._complete`).
+CACHE_SCHEMA_VERSION = 3
 
 _PRIMITIVES = (bool, int, float, str, type(None))
 
@@ -109,15 +112,22 @@ class SweepCell:
     interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE
     remote_cache: Optional[str] = None
     seed: int = 7
-    timing: TimingParams = TimingParams()
+    #: None means the default TimingParams(), constructed per cell in
+    #: ``__post_init__`` so cells never share a mutable default instance
+    timing: Optional[TimingParams] = None
     #: free-form label for the caller (ignored by the fingerprint); also
     #: the key the chaos harness injects faults by
     tag: str = ""
+    #: record per-stage telemetry for this cell (ignored by the
+    #: fingerprint: it never enters the result cache)
+    telemetry: bool = False
 
     def __post_init__(self) -> None:
         if isinstance(self.workload, str):
             self.workload = workload_by_name(self.workload)
         self.policy = resolve_policy(self.policy)
+        if self.timing is None:
+            self.timing = TimingParams()
 
 
 def _jsonable(value):
@@ -151,14 +161,7 @@ def policy_fingerprint(policy) -> dict:
             continue
         if isinstance(value, _PRIMITIVES) or isinstance(value, enum.Enum):
             params[key] = _jsonable(value)
-    for flag in (
-        "coalescing",
-        "pattern_coalescing",
-        "ideal_translation",
-        "pte_placement",
-        "wants_page_stats",
-        "num_epochs",
-    ):
+    for flag, _ in CAPABILITY_FLAGS:
         params[flag] = _jsonable(getattr(policy, flag))
     return {
         "name": policy.name,
@@ -427,6 +430,7 @@ def _run_cell(cell: SweepCell) -> SimResult:
         remote_cache=cell.remote_cache,
         seed=cell.seed,
         timing=cell.timing,
+        telemetry=cell.telemetry,
     )
 
 
@@ -487,6 +491,14 @@ class SweepRunner:
     chaos:
         Optional :class:`~repro.sim.chaos.ChaosSchedule` injecting
         faults by cell tag (tests only).
+    telemetry, telemetry_dir:
+        ``telemetry=True`` (default: the ``REPRO_TELEMETRY`` env flag)
+        records per-stage telemetry for every cell and dumps one JSON
+        file per completed cell into ``telemetry_dir`` (default
+        ``REPRO_TELEMETRY_DIR`` or ``./telemetry``).  Cache *reads* are
+        skipped while telemetry is on — a cached result has no telemetry
+        to dump — and telemetry is stripped before results are written
+        back, so the cache stays telemetry-free either way.
     """
 
     def __init__(
@@ -502,11 +514,23 @@ class SweepRunner:
         backoff_cap: float = 4.0,
         backoff_seed: int = 0,
         chaos: Optional[ChaosSchedule] = None,
+        telemetry: Optional[bool] = None,
+        telemetry_dir: Optional[Union[str, Path]] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if use_cache else None
         )
+        self.telemetry = (
+            telemetry_enabled_by_env() if telemetry is None else bool(telemetry)
+        )
+        self.telemetry_dir = Path(
+            telemetry_dir
+            if telemetry_dir is not None
+            else os.environ.get("REPRO_TELEMETRY_DIR", "telemetry")
+        )
+        #: set after the first failed telemetry dump; no further attempts
+        self._telemetry_write_disabled = False
         self.cell_timeout = resolve_cell_timeout(cell_timeout)
         self.on_error = resolve_on_error(on_error)
         self.max_attempts = max(1, int(max_attempts))
@@ -537,6 +561,9 @@ class SweepRunner:
         cells = [
             c if isinstance(c, SweepCell) else SweepCell(*c) for c in cells
         ]
+        if self.telemetry:
+            for cell in cells:
+                cell.telemetry = True
         keys = [cell_fingerprint(c) for c in cells]
         results: List[Optional[SimResult]] = [None] * len(cells)
 
@@ -546,7 +573,9 @@ class SweepRunner:
             if key in leaders:
                 self.stats.deduped += 1
                 continue
-            if self.cache is not None:
+            # Cached results carry no telemetry, so a telemetry sweep
+            # re-simulates everything to produce its per-cell dumps.
+            if self.cache is not None and not self.telemetry:
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
@@ -676,7 +705,7 @@ class SweepRunner:
                         )
                     else:
                         self._complete(info.index, keys[info.index],
-                                       result, results)
+                                       result, results, cells[info.index])
                 if broken:
                     # A dead worker poisons every sibling future; keep
                     # any that completed in the meantime, treat the rest
@@ -695,7 +724,8 @@ class SweepRunner:
                             else:
                                 self._complete(info.index,
                                                keys[info.index],
-                                               result, results)
+                                               result, results,
+                                               cells[info.index])
                         else:
                             self._attempt_failed(
                                 cells, keys, info, "worker-died",
@@ -784,7 +814,8 @@ class SweepRunner:
                            "error", exc, started)
                 return
             else:
-                self._complete(index, keys[index], result, results)
+                self._complete(index, keys[index], result, results,
+                               cells[index])
                 return
 
     # --- failure handling ---
@@ -856,13 +887,51 @@ class SweepRunner:
         key: str,
         result: SimResult,
         results: List[Optional[SimResult]],
+        cell: Optional[SweepCell] = None,
     ) -> None:
         """Store a finished cell and flush it to the cache immediately,
         so an abort later in the sweep never discards it."""
         results[index] = result
         self.stats.simulated += 1
+        if result.telemetry is not None and cell is not None:
+            self._dump_telemetry(key, cell, result)
         if self.cache is not None:
+            if result.telemetry is not None:
+                # Telemetry is a recording of *this* run, not part of the
+                # deterministic result — cache the result without it.
+                result = dataclasses.replace(result, telemetry=None)
             self.cache.put(key, result)
+
+    def _dump_telemetry(
+        self, key: str, cell: SweepCell, result: SimResult
+    ) -> None:
+        """Write one JSON telemetry file per completed cell.
+
+        Like the result cache, a failed write warns once and disables
+        further dumps instead of failing the sweep.
+        """
+        if self._telemetry_write_disabled:
+            return
+        payload = {
+            "fingerprint": key,
+            "workload": result.workload,
+            "policy": result.policy,
+            "tag": cell.tag,
+            "telemetry": result.telemetry,
+        }
+        path = self.telemetry_dir / f"{result.workload}-{result.policy}-{key[:12]}.json"
+        try:
+            self.telemetry_dir.mkdir(parents=True, exist_ok=True)
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2)
+        except OSError as exc:
+            self._telemetry_write_disabled = True
+            warnings.warn(
+                f"telemetry dir {self.telemetry_dir} is not writable "
+                f"({exc}); telemetry dumps disabled for this run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # --- retry pacing / chaos ---
 
@@ -895,7 +964,7 @@ class SweepRunner:
         interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
         remote_cache: Optional[str] = None,
         seed: int = 7,
-        timing: TimingParams = TimingParams(),
+        timing: Optional[TimingParams] = None,
     ) -> Optional[SimResult]:
         """Single-cell convenience mirroring :func:`run_workload`."""
         cell = SweepCell(

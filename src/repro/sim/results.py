@@ -53,6 +53,10 @@ class SimResult:
         default_factory=dict
     )
     remote_cache_coverage: Optional[float] = None
+    #: per-stage counters/histograms recorded under ``--telemetry`` /
+    #: ``REPRO_TELEMETRY`` (see repro.sim.telemetry); None when off.
+    #: Already JSON-compatible, so it round-trips through to_dict as is.
+    telemetry: Optional[Dict[str, object]] = None
 
     @property
     def performance(self) -> float:

@@ -63,9 +63,16 @@ def run_workload(
     interleave: InterleavePolicy = InterleavePolicy.NUMA_AWARE,
     remote_cache: Optional[str] = None,
     seed: int = 7,
-    timing: TimingParams = TimingParams(),
+    timing: Optional[TimingParams] = None,
+    telemetry: Optional[bool] = None,
 ) -> SimResult:
-    """Run one (workload, policy) pair and return its :class:`SimResult`."""
+    """Run one (workload, policy) pair and return its :class:`SimResult`.
+
+    ``timing=None`` means the default :class:`TimingParams`, constructed
+    per call inside the engine (never a shared module-level instance).
+    ``telemetry`` forces per-stage telemetry on/off; ``None`` defers to
+    the ``REPRO_TELEMETRY`` environment flag.
+    """
     spec = workload_by_name(workload) if isinstance(workload, str) else workload
     return run_simulation(
         spec,
@@ -75,4 +82,5 @@ def run_workload(
         remote_cache=remote_cache,
         seed=seed,
         timing=timing,
+        telemetry=telemetry,
     )

@@ -20,8 +20,6 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from ..units import is_pow2
-
 
 @dataclass
 class MultiPageEntry:

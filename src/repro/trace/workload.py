@@ -25,12 +25,12 @@ from __future__ import annotations
 
 import enum
 import zlib
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..units import BLOCK_SIZE, PAGE_64K, pages_in
+from ..units import PAGE_64K, pages_in
 from ..vm.va_space import Allocation, VASpace
 
 

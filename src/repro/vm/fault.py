@@ -16,7 +16,7 @@ the paper's idealised comparison (Section 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set
 
 from ..mem.frames import ChipletMemoryExhausted, Frame, FrameAllocator

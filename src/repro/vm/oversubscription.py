@@ -15,8 +15,8 @@ NVIDIA UVM behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, TYPE_CHECKING
+from dataclasses import dataclass
+from typing import Dict, List, Set, TYPE_CHECKING
 
 from ..units import BLOCK_SIZE
 

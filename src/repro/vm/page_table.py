@@ -18,11 +18,11 @@ exploits (Section 4.6).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..mem.frames import Frame
-from ..units import PAGE_2M, PAGE_64K, is_pow2, size_label
+from ..units import is_pow2, size_label
 
 
 @dataclass

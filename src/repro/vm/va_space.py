@@ -13,7 +13,7 @@ never span two allocations.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 from ..units import BLOCK_SIZE, align_up, size_label

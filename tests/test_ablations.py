@@ -1,7 +1,5 @@
 """Quick-mode tests for the ablation experiments."""
 
-import pytest
-
 from repro import ClapPolicy, run_workload
 from repro.experiments import ablations
 from repro.units import PAGE_2M, PAGE_64K

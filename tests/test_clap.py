@@ -1,11 +1,8 @@
 """Tests for the CLAP policy: PMM, OLP, MMA, application, edge cases."""
 
-import pytest
-
 from repro.core.clap import AllocationPhase, ClapPolicy
 from repro.policies import StaticPaging
 from repro.units import KB, MB, PAGE_2M, PAGE_64K
-from repro.vm.page_table import Region
 
 from .conftest import (
     contiguous,

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.clap import AllocationPhase, ClapPolicy
-from repro.trace.workload import Pattern, StructureSpec, WorkloadSpec
+from repro.trace.workload import Pattern, StructureSpec
 from repro.units import KB, MB, PAGE_2M, PAGE_4K, PAGE_64K
 
 from .conftest import make_spec, run

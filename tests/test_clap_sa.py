@@ -1,7 +1,5 @@
 """Tests for CLAP-SA and CLAP-SA++ (Section 5.2)."""
 
-import pytest
-
 from repro.core.clap_sa import ClapSaPlusPolicy, ClapSaPolicy
 from repro.policies import SaStaticPolicy
 from repro.units import KB, MB, PAGE_2M, PAGE_64K

@@ -25,7 +25,7 @@ class TestRender:
     def test_bars_scale_to_peak(self, sample_result):
         text = render_bars(sample_result, width=10)
         lines = text.splitlines()
-        b_line = next(l for l in lines if l.strip().startswith("b"))
+        b_line = next(ln for ln in lines if ln.strip().startswith("b"))
         assert "█" * 10 in b_line  # the peak value fills the width
         assert "rr=0.50" in b_line
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.policies import StaticPaging
 from repro.core.clap import ClapPolicy
-from repro.sim.energy import EnergyBreakdown, EnergyParams, energy_report
+from repro.sim.energy import EnergyBreakdown, energy_report
 from repro.sim.machine import Machine
 from repro.config import baseline_config
 from repro.units import MB, PAGE_2M, PAGE_64K

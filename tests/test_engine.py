@@ -3,12 +3,12 @@
 import pytest
 
 from repro.arch.address import InterleavePolicy
-from repro.config import baseline_config, eight_chiplet_config
+from repro.config import eight_chiplet_config
 from repro.policies import StaticPaging
 from repro.sim.engine import run_simulation
 from repro.sim.runner import run_workload
 from repro.trace.workload import Workload
-from repro.units import MB, PAGE_2M, PAGE_64K
+from repro.units import MB, PAGE_64K
 
 from .conftest import contiguous, make_spec, partitioned, run, shared
 

@@ -6,7 +6,6 @@ from hypothesis import strategies as st
 
 from repro.arch.address import AddressLayout
 from repro.mem.frames import (
-    DEFAULT_POOL,
     ChipletMemoryExhausted,
     Frame,
     FrameAllocator,

@@ -37,8 +37,8 @@ class TestWalkCosts:
         local = PageWalker(cfg, 0, placement=PtePlacement.LOCAL)
         addrs = [i * (2 << 20) for i in range(50)]
         d = sum(distributed.walk(a, 0, 0) for a in addrs)
-        l = sum(local.walk(a, 0, 0) for a in addrs)
-        assert l < d
+        local_cost = sum(local.walk(a, 0, 0) for a in addrs)
+        assert local_cost < d
         assert distributed.stats.remote_steps > 0
         assert local.stats.remote_steps == 0
 

@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.arch.address import InterleavePolicy
 from repro.config import baseline_config, eight_chiplet_config
-from repro.policies import StaticPaging
 from repro.policies.base import PlacementPolicy
 from repro.sim.engine import run_simulation
 from repro.sim.machine import Machine

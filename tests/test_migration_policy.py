@@ -1,7 +1,5 @@
 """Tests for the CLAP+migration extension (Figure 20 scenario)."""
 
-import pytest
-
 from repro.core.clap import ClapPolicy
 from repro.core.migration import ClapMigrationPolicy
 from repro.policies import StaticPaging

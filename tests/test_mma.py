@@ -133,7 +133,7 @@ def test_property_selection_monotone_in_rt_ratio(owners, ratio):
 @given(
     owners=st.lists(
         st.integers(min_value=0, max_value=3), min_size=2, max_size=64
-    ).filter(lambda l: (len(l) & (len(l) - 1)) == 0)
+    ).filter(lambda owners: (len(owners) & (len(owners) - 1)) == 0)
 )
 @settings(max_examples=60, deadline=None)
 def test_property_scores_bounded_and_leaf_perfect(owners):

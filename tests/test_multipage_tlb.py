@@ -8,7 +8,7 @@ from repro.sim.engine import run_simulation
 from repro.tlb.multipage import MultiPageTLB
 from repro.units import MB, PAGE_2M, PAGE_4K, PAGE_64K
 
-from .conftest import make_spec, partitioned, run
+from .conftest import make_spec, partitioned
 
 
 class TestMultiPageTLB:

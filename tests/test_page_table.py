@@ -4,7 +4,7 @@ import pytest
 
 from repro.mem.frames import Frame
 from repro.units import PAGE_2M, PAGE_4K, PAGE_64K
-from repro.vm.page_table import MappingRecord, PageFault, PageTable, Region
+from repro.vm.page_table import PageFault, PageTable, Region
 
 
 def make_region(va_base=0, size=PAGE_2M, chiplet=0, page_size=PAGE_64K):

@@ -15,7 +15,7 @@ from repro.policies import (
 from repro.sim.runner import resolve_policy
 from repro.units import KB, MB, PAGE_2M, PAGE_4K, PAGE_64K
 
-from .conftest import contiguous, make_spec, partitioned, run, shared
+from .conftest import contiguous, make_spec, partitioned, run
 
 
 class TestStaticPaging:

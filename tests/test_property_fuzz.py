@@ -7,7 +7,6 @@ This is the class of test that catches frame double-allocation and
 region bookkeeping bugs that example-based tests miss.
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -17,7 +16,7 @@ from repro.sim.engine import run_simulation
 from repro.sim.machine import Machine
 from repro.sim.validation import validate_machine
 from repro.trace.workload import Pattern, StructureSpec, WorkloadSpec
-from repro.units import BLOCK_SIZE, MB, PAGE_2M, PAGE_64K, align_down
+from repro.units import MB, PAGE_2M, PAGE_64K, align_down
 
 
 # --- pager operation fuzzing -------------------------------------------

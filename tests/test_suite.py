@@ -9,7 +9,7 @@ from repro.trace.suite import (
     workload_by_name,
 )
 from repro.trace.workload import Pattern, Scan, Workload
-from repro.units import GB, MB, PAGE_2M
+from repro.units import GB, PAGE_2M
 
 
 EXPECTED_ABBRS = [

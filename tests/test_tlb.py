@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.tlb.tlb import SetAssociativeTLB, TLBEntry
+from repro.tlb.tlb import SetAssociativeTLB
 from repro.units import PAGE_64K
 
 

@@ -1,11 +1,8 @@
 """Tests for translation-unit derivation and valid-mask computation."""
 
-import pytest
-
 from repro.mem.frames import Frame
 from repro.tlb.units import (
     COALESCE_WINDOW_PAGES,
-    TranslationUnit,
     UnitKind,
     unit_for,
     valid_mask_for,

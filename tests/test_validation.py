@@ -29,8 +29,6 @@ from .conftest import contiguous, make_spec, partitioned, shared
 
 def run_and_validate(spec, policy, **machine_kwargs):
     """Drive a trace manually so the machine stays inspectable."""
-    from repro.sim.engine import run_simulation
-
     # run_simulation builds its own machine; replicate enough here by
     # attaching to a machine we keep.
     config = baseline_config()

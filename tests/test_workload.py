@@ -5,13 +5,12 @@ import pytest
 from repro.trace.workload import (
     KernelSpec,
     Pattern,
-    Scan,
     StructureSpec,
     StructureUsage,
     Workload,
     WorkloadSpec,
 )
-from repro.units import KB, MB, PAGE_64K
+from repro.units import MB
 
 
 def struct(name="s", size=8 * MB, pattern=Pattern.PARTITIONED, **kw):
