@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Benchmark: staged vs batched replay, per quick-sweep cell.
+
+Prints a per-cell table of staged/batched wall time (best of
+``--repeats``), the speedup, and the batched engine's
+``fast_path_fraction`` (share of the trace replayed through vectorized
+steady-state windows).  Both engines are bit-identical in results —
+asserted here on every measured cell — so the table is purely a wall
+time comparison.
+
+Usage::
+
+    python benchmarks/perf_batch.py
+    python benchmarks/perf_batch.py --repeats 7 --cells STE/S-64KB BLK/CLAP
+
+Unlike ``scripts/perf_smoke.py`` (the CI budget gate), this script has
+no baseline and never fails on timing: it is the measurement tool the
+README's performance table is produced with.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.sim.runner import run_workload  # noqa: E402
+
+#: Default cells: the perf-smoke quick sweep plus one cell per remaining
+#: policy family, so every replay shape shows up in the table.
+DEFAULT_CELLS = [
+    "STE/S-64KB",
+    "STE/S-2MB",
+    "BLK/CLAP",
+    "GPT3/Ideal_C-NUMA",
+    "BLK/F-Barre",
+    "GPT3/MGvm",
+]
+
+
+def _best(workload: str, policy: str, engine: str, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_workload(workload, policy, engine=engine)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timing repetitions per engine; the best pass counts",
+    )
+    parser.add_argument(
+        "--cells", nargs="+", default=DEFAULT_CELLS, metavar="WORKLOAD/POLICY",
+        help=f"cells to measure (default: {' '.join(DEFAULT_CELLS)})",
+    )
+    args = parser.parse_args(argv)
+
+    cells = []
+    for text in args.cells:
+        workload, _, policy = text.partition("/")
+        if not policy:
+            parser.error(f"cell {text!r} is not WORKLOAD/POLICY")
+        cells.append((workload, policy))
+
+    print(
+        f"{'cell':24s} {'staged':>9s} {'batched':>9s} "
+        f"{'speedup':>8s} {'fast-path':>10s}"
+    )
+    total_staged = total_batched = 0.0
+    for workload, policy in cells:
+        staged = run_workload(workload, policy, engine="staged")
+        batched = run_workload(workload, policy, engine="batched")
+        assert staged.to_dict() == batched.to_dict(), (
+            f"{workload}/{policy}: engines diverged"
+        )
+        t_staged = _best(workload, policy, "staged", args.repeats)
+        t_batched = _best(workload, policy, "batched", args.repeats)
+        total_staged += t_staged
+        total_batched += t_batched
+        print(
+            f"{workload + '/' + policy:24s} "
+            f"{t_staged * 1e3:7.1f}ms {t_batched * 1e3:7.1f}ms "
+            f"{t_staged / t_batched:7.2f}x "
+            f"{batched.fast_path_fraction:10.3f}"
+        )
+    print(
+        f"{'total':24s} {total_staged * 1e3:7.1f}ms "
+        f"{total_batched * 1e3:7.1f}ms "
+        f"{total_staged / total_batched:7.2f}x"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

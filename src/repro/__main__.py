@@ -33,6 +33,12 @@ to the result cache — an aborted sweep resumes from where it stopped.
 per-stage pipeline telemetry and writes one JSON file per simulation
 into ``--telemetry-dir`` (default ``REPRO_TELEMETRY_DIR`` or
 ``./telemetry``).
+
+``--engine staged|batched|auto`` selects the replay engine (default:
+``REPRO_ENGINE`` or auto; results are bit-identical, only wall time
+differs — see DESIGN.md section 7).  ``--profile`` wraps the selected
+command in ``cProfile`` and dumps a ``pstats`` file next to the
+telemetry output.
 """
 
 from __future__ import annotations
@@ -121,6 +127,22 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
              "retry runs in-process)",
     )
     _add_telemetry_flags(parser)
+    _add_engine_flags(parser)
+
+
+def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
+    from .sim.engine import ENGINES
+
+    parser.add_argument(
+        "--engine", choices=ENGINES, default=None,
+        help="replay engine: staged, batched, or auto (default: the "
+             "REPRO_ENGINE env flag, or auto); results are bit-identical",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run the command under cProfile and dump a pstats file "
+             "next to the telemetry output",
+    )
 
 
 def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
@@ -156,6 +178,30 @@ def _dump_run_telemetry(result, telemetry_dir) -> Path:
             indent=2,
         )
     return path
+
+
+def _run_profiled(handler, args: argparse.Namespace) -> int:
+    """Run ``handler`` under cProfile; dump pstats beside telemetry."""
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        rc = handler(args)
+    finally:
+        profiler.disable()
+        root = Path(
+            getattr(args, "telemetry_dir", None)
+            or os.environ.get("REPRO_TELEMETRY_DIR", "telemetry")
+        )
+        root.mkdir(parents=True, exist_ok=True)
+        path = root / f"profile-{args.command}.pstats"
+        profiler.dump_stats(str(path))
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(15)
+        print(f"[profile] stats written to {path}", file=sys.stderr)
+    return rc
 
 
 def _print_failures(runner: SweepRunner) -> None:
@@ -300,10 +346,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_parser.add_argument("--seed", type=int, default=7)
     _add_telemetry_flags(run_parser)
+    _add_engine_flags(run_parser)
 
     sweep_parser = sub.add_parser("sweep", help="Figure 6 page-size sweep")
     sweep_parser.add_argument("workload")
     sweep_parser.add_argument("--seed", type=int, default=7)
+    _add_engine_flags(sweep_parser)
 
     exp_parser = sub.add_parser(
         "experiment", help="regenerate a paper figure/table"
@@ -333,6 +381,10 @@ def main(argv=None) -> int:
     if argv and argv[0].startswith("-") and argv[0] not in ("-h", "--help"):
         argv.insert(0, "report")
     args = build_parser().parse_args(argv)
+    # The env flag (not a per-call argument) so sweep worker processes
+    # spawned by the parallel runner inherit the choice too.
+    if getattr(args, "engine", None):
+        os.environ["REPRO_ENGINE"] = args.engine
     handlers = {
         "list": _cmd_list,
         "run": _cmd_run,
@@ -340,7 +392,10 @@ def main(argv=None) -> int:
         "experiment": _cmd_experiment,
         "report": _cmd_report,
     }
-    return handlers[args.command](args)
+    handler = handlers[args.command]
+    if getattr(args, "profile", False):
+        return _run_profiled(handler, args)
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,1231 @@
+"""The batched replay engine: vectorized steady-state trace windows.
+
+The staged :class:`~repro.sim.pipeline.AccessPipeline` replays one
+access at a time through four Python closures; every cache-line access
+pays interpreter dispatch for work that is, in the steady state, pure
+array arithmetic.  This module partitions each chunk of the trace into
+*steady-state windows* — maximal runs of accesses whose pages are
+already mapped, which cross no epoch or kernel boundary and trigger no
+policy callback — and replays each window with NumPy array ops plus a
+tightly fused Python loop over precomputed lists:
+
+* **page-base derivation and classification** — one ``np.unique`` over
+  the chunk's granule-page keys, one page-table lookup per unique page,
+  and vectorized physical address / home-chiplet / set-index / DRAM-row
+  derivation for every window access from the per-unique arrays;
+* **translation** — per-requester run-length compression over
+  translation units: the *head* of each run performs the exact
+  single-size-class translation sequence (TLB lookups and inserts,
+  page walks through the walk caches, Remote Tracker updates) inlined
+  from ``TranslationPath.access``/``PageWalker.walk``, and the tail is
+  bulk-accounted as guaranteed L1 TLB hits (the head leaves the entry
+  present, valid-bit set and MRU, and no other access of that
+  requester intervenes within the run);
+* **data path** — a fused loop in global access order over pre-derived
+  lists (L1 -> remote cache -> ring -> home L2 -> DRAM), mutating the
+  live LRU structures directly and flushing window-local counters into
+  the machine at window end;
+* **accounting** — ``np.bincount`` reductions for per-structure and
+  per-page statistics, preserving first-touch insertion order of the
+  page-stats dict (policies may iterate it).
+
+Anything that is not steady state is replayed exactly, one access at a
+time: faults resolve through the staged ``FaultStage.process`` (which
+also enriches exhaustion errors), the faulting access's translation,
+data and accounting then run through the same inlined sequences the
+windows use (identical operation order, no staged-closure dispatch),
+and epoch/kernel callbacks fire at chunk boundaries only (chunks are
+clipped so boundaries never fall inside a window).  Telemetry-
+instrumented and multi-page-TLB runs use the staged pipeline entirely
+(see :mod:`repro.sim.engine`).
+
+**Why results stay bit-identical** (DESIGN.md section 7): within a
+window no page-table mutation can occur, so resolving records up front
+equals resolving them per access; translation, data and accounting
+touch disjoint machine state, so replaying a window stage-major equals
+replaying it access-major; run tails are provably L1 TLB hits with zero
+latency; and every counter flush is integer-exact.  The page table's
+``generation``/event log guarantees staleness is *detected* rather than
+assumed away: any mutation between windows re-resolves exactly the
+affected page keys.
+"""
+
+from __future__ import annotations
+
+import gc
+from typing import List, Optional
+
+import numpy as np
+
+from ..arch.address import FINE_INTERLEAVE, InterleavePolicy
+from ..cache.remote_cache import RemoteCachingScheme
+from ..gmmu.walker import (
+    _LEVEL_SPANS,
+    WALK_CACHE_HIT_CYCLES,
+    PtePlacement,
+)
+from ..mem.dram import ROW_SIZE
+from ..tlb.tlb import TLBEntry
+from ..tlb.units import COALESCE_WINDOW_PAGES
+from ..units import PAGE_2M, PAGE_64K
+from .pipeline import (
+    DataStage,
+    FaultStage,
+    SimState,
+    TranslationStage,
+    close_epoch,
+)
+
+#: Accesses per chunk.  Chunks are additionally clipped at kernel starts
+#: and epoch boundaries so callbacks only ever fire between chunks.
+CHUNK = 4096
+
+#: Minimum window length worth vectorizing; shorter fault-free runs go
+#: through the fused scalar fast path instead (the fixed NumPy setup
+#: cost of a window would exceed the interpreter cost it saves).
+MIN_VEC = 24
+
+#: Remote-transfer payload in bytes (one 128B line plus header), matching
+#: ``DataStage``'s ``ring.record_transfer(home, requester, 160)``.
+_TRANSFER_BYTES = 160
+
+
+class BatchedPipeline:
+    """Replays a trace through vectorized windows with staged fallback.
+
+    Drop-in alternative to :class:`~repro.sim.pipeline.AccessPipeline`
+    for telemetry-off runs: same constructor state, same ``run()``
+    contract, bit-identical :class:`SimState` at the end.  Additionally
+    exposes ``fast_path_fraction`` — the fraction of accesses replayed
+    through vectorized windows.
+    """
+
+    def __init__(self, state: SimState) -> None:
+        self.state = state
+        #: Batched runs are always telemetry-off (the engine falls back
+        #: to the staged pipeline otherwise); ``_fold_result`` reads this.
+        self.telemetry = None
+        self.fault_stage = FaultStage(state, None)
+        self.translation_stage = TranslationStage(state, None)
+        self.data_stage = DataStage(state, None)
+        self.fast_path_fraction: Optional[float] = None
+
+    def run(self) -> SimState:  # noqa: C901 - one fused hot path
+        state = self.state
+        machine = state.machine
+        config = machine.config
+        trace = state.trace
+        n = len(trace)
+        caps = state.capabilities
+
+        # --- trace arrays ---
+        vaddrs = trace.vaddrs
+        chiplets = trace.chiplets
+        va_np = np.asarray(vaddrs, dtype=np.int64)
+        ch_np = np.asarray(chiplets, dtype=np.int64)
+
+        # --- machine bindings ---
+        nc = config.num_chiplets
+        page_table = machine.page_table
+        pt_lookup = page_table.lookup
+        paths = machine.paths
+        walkers = machine.walkers
+        l1_caches = machine.l1_caches
+        l2_caches = machine.l2_caches
+        remote_caches = machine.remote_caches
+        ring = machine.ring
+        dram = machine.dram
+        l1_latency = config.l1_latency
+        l2_latency = config.l2_latency
+        l2_tlb_latency = config.l2_tlb.latency
+        #: (chiplet, size_class) -> that path's (L1, L2) TLB pair, so the
+        #: inlined head translation skips the lazy-creation lookup.
+        tlb_pairs = {}
+        line_size = config.cache_line
+        cpc = machine.layout.channels_per_chiplet
+        naive = state.interleave is InterleavePolicy.NAIVE
+
+        l1_sets = [c._sets for c in l1_caches]
+        l2_sets = [c._sets for c in l2_caches]
+        l1_ns = l1_caches[0].num_sets
+        l2_ns = l2_caches[0].num_sets
+        l1_ways = l1_caches[0].ways
+        l2_ways = l2_caches[0].ways
+        use_rc = remote_caches is not None
+        if use_rc:
+            rc_sets = [rc.cache._sets for rc in remote_caches]
+            rc_ns = remote_caches[0].cache.num_sets
+            rc_ways = remote_caches[0].cache.ways
+            rc_insert_all = (
+                type(remote_caches[0]).should_insert
+                is RemoteCachingScheme.should_insert
+            )
+        else:
+            rc_sets = None
+            rc_ns = 1
+            rc_ways = 0
+            rc_insert_all = True
+
+        hops_tab = [[ring.hops(s, d) for d in range(nc)] for s in range(nc)]
+        ring_traffic = ring.traffic_bytes
+        ring_traffic_get = ring_traffic.get
+        rcost_np = 2 * ring.hop_cycles * np.array(hops_tab, dtype=np.int64)
+        rcost_tab = [[2 * ring.hop_cycles * h for h in row]
+                     for row in hops_tab]
+        open_row = dram._open_row
+        open_row_get = open_row.get
+        ch_accesses = dram.channel_accesses
+        row_hit_c = dram.row_hit_cycles
+        row_miss_c = dram.row_miss_cycles
+
+        # --- translation-unit flags and page granule ---
+        coalescing = caps.coalescing
+        pattern = caps.pattern_coalescing
+        ideal = caps.ideal_translation
+        granule = min(state.policy.native_sizes())
+        shift = granule.bit_length() - 1
+        pt_tables = page_table._tables
+
+        def unit_tuple(va: int, rec) -> tuple:
+            """``unit_for`` as a plain ``(kind, tag, coverage,
+            size_class, page_bit)`` tuple.
+
+            Same decision tree as :func:`repro.tlb.units.unit_for`
+            (kind 0 = native/ideal, 1 = coalesced, 2 = pattern), but
+            without constructing a frozen dataclass per resolution —
+            the hot loops resolve every unique page of every chunk and
+            re-resolve on each page-table event, so allocation cost
+            here is material.
+            """
+            if ideal:
+                tag = va - va % PAGE_2M
+                return (0, tag, PAGE_2M, PAGE_2M, 0)
+            ps = rec.page_size
+            if ps > PAGE_64K or not (coalescing or pattern):
+                return (0, rec.va_base, ps, ps, 0)
+            window = COALESCE_WINDOW_PAGES * ps
+            if coalescing:
+                group = rec.contiguity_size
+                if rec.region is not None and group > ps:
+                    span = window if group > window else group
+                    off = rec.va_base - rec.contiguity_base
+                    base = rec.contiguity_base + off - off % span
+                    return (1, base, span, ps, (rec.va_base - base) // ps)
+            if pattern:
+                base = rec.va_base - rec.va_base % window
+                return (2, base, window, ps, (rec.va_base - base) // ps)
+            return (0, rec.va_base, ps, ps, 0)
+
+        def window_mask(kind, tag, coverage, size_class, pb, rec) -> int:
+            """``valid_mask_for`` for coalesced/pattern units (kind
+            1/2; native and ideal units are always mask ``1``).
+
+            Probes the page table's per-size bucket directly: only
+            PTEs of exactly ``size_class`` can contribute valid bits,
+            and promotion removes the base PTEs it replaces, so sizes
+            never overlap a vaddr.
+            """
+            table = pt_tables.get(size_class)
+            if table is None:
+                return 1 << pb
+            probe = table.get
+            base_vpn = tag // size_class
+            require_region = rec.region if kind == 1 else None
+            mask = 0
+            for i in range(coverage // size_class):
+                cand = probe(base_vpn + i)
+                if cand is None:
+                    continue
+                if (
+                    require_region is not None
+                    and cand.region is not require_region
+                ):
+                    continue
+                mask |= 1 << i
+            return mask | (1 << pb)
+
+        # --- page-walk bindings (PageWalker.walk, inlined) ---
+        wcaches = [w.walk_cache for w in walkers]
+        wdicts = [w.walk_cache._cache for w in walkers]
+        wstats = [w.stats for w in walkers]
+        wtrackers = [w.remote_tracker for w in walkers]
+        wc_entries = wcaches[0]._entries
+        local_ptes = walkers[0].placement is PtePlacement.LOCAL
+        hop_c = walkers[0].hop_cycles
+        #: step_tab[c][holder] = cycles for chiplet ``c`` to fetch a PTE
+        #: line held by ``holder`` (L2 latency + two ring traversals).
+        step_tab = [
+            [
+                l2_latency
+                + 2 * min((h - c) % nc, (c - h) % nc) * hop_c
+                for h in range(nc)
+            ]
+            for c in range(nc)
+        ]
+        span1, span2, span3 = _LEVEL_SPANS
+
+        def walk_inline(
+            c: int,
+            vaddr: int,
+            aid: int,
+            leaf: int,
+            # Bound as defaults so the loop body uses local loads
+            # instead of closure-cell dereferences (hot path).
+            wdicts=wdicts,
+            wcaches=wcaches,
+            wstats=wstats,
+            step_tab=step_tab,
+            wc_entries=wc_entries,
+            local_ptes=local_ptes,
+            nc=nc,
+            span1=span1,
+            span2=span2,
+            span3=span3,
+            wtrackers=wtrackers,
+        ) -> int:
+            """``PageWalker.walk`` with the walk cache, step-cost hash
+            and stats updates inlined (same counters, same order)."""
+            cache = wdicts[c]
+            wc = wcaches[c]
+            st = wstats[c]
+            row = step_tab[c]
+            cycles = 0
+            for level, key in (
+                (1, vaddr // span1),
+                (2, vaddr // span2),
+                (3, vaddr // span3),
+                (4, vaddr // span3),
+            ):
+                if level < 4:
+                    ck = (level, key)
+                    if ck in cache:
+                        cache.move_to_end(ck)
+                        wc.hits += 1
+                        cycles += WALK_CACHE_HIT_CYCLES
+                        continue
+                    wc.misses += 1
+                    if len(cache) >= wc_entries:
+                        cache.popitem(last=False)
+                    cache[ck] = True
+                holder = (
+                    c
+                    if local_ptes
+                    else (key * 0x9E3779B1 + level) % nc
+                )
+                if holder != c:
+                    st.remote_steps += 1
+                else:
+                    st.local_steps += 1
+                cycles += row[holder]
+            st.walks += 1
+            st.total_cycles += cycles
+            rt = wtrackers[c]
+            if rt is not None:
+                rt.update(aid, is_remote=leaf != c)
+            return cycles
+
+        per_structure = state.per_structure
+        alloc_ids_present = list(per_structure)
+        n_alloc = max(alloc_ids_present, default=0) + 1
+        wants_stats = caps.wants_page_stats
+        epoch_len = state.epoch_len
+        on_kernel = state.policy.on_kernel
+        kernel_starts = sorted(set(trace.kernel_starts))
+
+        fault = self.fault_stage.process
+
+        # --- batch-owned accumulators (merged into state at the end) ---
+        vec_translation = 0
+        vec_data = 0
+        vec_on_ring = 0
+        acc_remote_placement = 0
+        acc_epoch_remote = 0
+        acc_epoch_accesses = 0
+        fast_accesses = 0
+
+        def scalar_one(
+            i: int,
+            # Default-bound bindings: local loads in the body instead of
+            # closure-cell dereferences (this runs once per page fault).
+            chiplets=chiplets,
+            vaddrs=vaddrs,
+            paths=paths,
+            tlb_pairs=tlb_pairs,
+            l1_sets=l1_sets,
+            l1_ns=l1_ns,
+            l1_ways=l1_ways,
+            l1_caches=l1_caches,
+            l2_sets=l2_sets,
+            l2_ns=l2_ns,
+            l2_ways=l2_ways,
+            l2_caches=l2_caches,
+            l1_latency=l1_latency,
+            l2_latency=l2_latency,
+            l2_tlb_latency=l2_tlb_latency,
+            use_rc=use_rc,
+            remote_caches=remote_caches,
+            rc_sets=rc_sets,
+            rc_ns=rc_ns,
+            rc_ways=rc_ways,
+            rc_insert_all=rc_insert_all,
+            rcost_tab=rcost_tab,
+            hops_tab=hops_tab,
+            ring_traffic=ring_traffic,
+            ring_traffic_get=ring_traffic_get,
+            open_row=open_row,
+            open_row_get=open_row_get,
+            ch_accesses=ch_accesses,
+            row_hit_c=row_hit_c,
+            row_miss_c=row_miss_c,
+            per_structure=per_structure,
+            naive=naive,
+            nc=nc,
+            line_size=line_size,
+            cpc=cpc,
+            wants_stats=wants_stats,
+        ) -> None:
+            """One access through the exact staged fault stage, with
+            translation / data / accounting inlined.
+
+            ``FaultStage.process`` runs unmodified (fault buffering,
+            policy placement, error enrichment); the rest mirrors
+            ``TranslationStage.process`` / ``DataStage.process``
+            statement for statement — including passing the *raw* vaddr
+            to the page walker, which the staged stage does too — so
+            fault-path accesses stay bit-identical without paying the
+            staged closures' dispatch and allocation overhead.
+            """
+            nonlocal vec_translation, vec_data, vec_on_ring
+            nonlocal acc_remote_placement, acc_epoch_remote
+            nonlocal acc_epoch_accesses
+            c = int(chiplets[i])
+            va = int(vaddrs[i])
+            rec = fault(i, c, va)
+
+            # -- translation (TranslationStage.process, inlined) --
+            kind, tag, coverage, size_class, pb = unit_tuple(va, rec)
+            path = paths[c]
+            pair = tlb_pairs.get((c, size_class))
+            if pair is None:
+                pair = path._tlbs(size_class)
+                tlb_pairs[(c, size_class)] = pair
+            l1t, l2t = pair
+            es = l1t._sets[(tag // l1t.index_granule) % l1t.num_sets]
+            e = es.get(tag)
+            if e is not None and e.valid_mask >> pb & 1:
+                es.move_to_end(tag)
+                l1t.hits += 1
+                path.l1_hits += 1
+            else:
+                l1t.misses += 1
+                es2 = l2t._sets[
+                    (tag // l2t.index_granule) % l2t.num_sets
+                ]
+                e2 = es2.get(tag)
+                if e2 is not None and e2.valid_mask >> pb & 1:
+                    es2.move_to_end(tag)
+                    l2t.hits += 1
+                    path.l2_hits += 1
+                    mask = (
+                        window_mask(kind, tag, coverage, size_class, pb, rec)
+                        if kind
+                        else 1
+                    )
+                    if e is not None:
+                        if e.coverage != coverage:
+                            es[tag] = TLBEntry(tag, coverage, mask)
+                        else:
+                            e.valid_mask |= mask
+                            l1t.coalesced_merges += 1
+                        es.move_to_end(tag)
+                    else:
+                        if len(es) >= l1t.ways:
+                            es.popitem(last=False)
+                        es[tag] = TLBEntry(tag, coverage, mask)
+                    vec_translation += l2_tlb_latency
+                else:
+                    l2t.misses += 1
+                    walk_latency = walk_inline(
+                        c, va, rec.alloc_id, rec.chiplet
+                    )
+                    path.walks += 1
+                    mask = (
+                        window_mask(kind, tag, coverage, size_class, pb, rec)
+                        if kind
+                        else 1
+                    )
+                    if e2 is not None:
+                        if e2.coverage != coverage:
+                            es2[tag] = TLBEntry(tag, coverage, mask)
+                        else:
+                            e2.valid_mask |= mask
+                            l2t.coalesced_merges += 1
+                        es2.move_to_end(tag)
+                    else:
+                        if len(es2) >= l2t.ways:
+                            es2.popitem(last=False)
+                        es2[tag] = TLBEntry(tag, coverage, mask)
+                    if e is not None:
+                        if e.coverage != coverage:
+                            es[tag] = TLBEntry(tag, coverage, mask)
+                        else:
+                            e.valid_mask |= mask
+                            l1t.coalesced_merges += 1
+                        es.move_to_end(tag)
+                    else:
+                        if len(es) >= l1t.ways:
+                            es.popitem(last=False)
+                        es[tag] = TLBEntry(tag, coverage, mask)
+                    vec_translation += l2_tlb_latency + walk_latency
+
+            # -- data path (DataStage.process, inlined) --
+            pd = rec.paddr + (va - rec.va_base)
+            if naive:
+                hm = (pd // FINE_INTERLEAVE) % nc
+            else:
+                hm = rec.chiplet
+            rm = hm != c
+            ln = pd // line_size
+            h = ((ln * 0x9E3779B1) & 0xFFFFFFFF) >> 16
+            entries = l1_sets[c][h % l1_ns]
+            if ln in entries:
+                entries.move_to_end(ln)
+                l1_caches[c].hits += 1
+                vec_data += l1_latency
+            else:
+                l1_caches[c].misses += 1
+                if len(entries) >= l1_ways:
+                    entries.popitem(last=False)
+                entries[ln] = True
+                served_remote = False
+                if rm and use_rc:
+                    rc = remote_caches[c]
+                    rc.remote_lookups += 1
+                    entries = rc_sets[c][h % rc_ns]
+                    if ln in entries:
+                        entries.move_to_end(ln)
+                        rc.cache.hits += 1
+                        rc.remote_hits += 1
+                        vec_data += l2_latency
+                        served_remote = True
+                    else:
+                        rc.cache.misses += 1
+                        if rc_insert_all or rc.should_insert(pd):
+                            if len(entries) >= rc_ways:
+                                entries.popitem(last=False)
+                            entries[ln] = True
+                if not served_remote:
+                    cost = 0
+                    if rm:
+                        cost = rcost_tab[c][hm]
+                        key = (hm, c)
+                        ring_traffic[key] = (
+                            ring_traffic_get(key, 0) + _TRANSFER_BYTES
+                        )
+                        ring.total_bytes += _TRANSFER_BYTES
+                        ring.hop_bytes += (
+                            hops_tab[hm][c] * _TRANSFER_BYTES
+                        )
+                        vec_on_ring += 1
+                    entries = l2_sets[hm][h % l2_ns]
+                    if ln in entries:
+                        entries.move_to_end(ln)
+                        l2_caches[hm].hits += 1
+                        cost += l2_latency
+                    else:
+                        l2_caches[hm].misses += 1
+                        if len(entries) >= l2_ways:
+                            entries.popitem(last=False)
+                        entries[ln] = True
+                        cn = hm * cpc + (pd // FINE_INTERLEAVE) % cpc
+                        rw = pd // ROW_SIZE
+                        dram.accesses += 1
+                        ch_accesses[cn] += 1
+                        if open_row_get(cn) == rw:
+                            dram.row_hits += 1
+                            cost += l2_latency + row_hit_c
+                        else:
+                            open_row[cn] = rw
+                            cost += l2_latency + row_miss_c
+                    vec_data += cost
+
+            # -- accounting (AccountingStage.process, inlined) --
+            stats = per_structure[rec.alloc_id]
+            stats[0] += 1
+            if rm:
+                acc_remote_placement += 1
+                stats[1] += 1
+                acc_epoch_remote += 1
+            acc_epoch_accesses += 1
+            if wants_stats:
+                page_base = va & ~(PAGE_64K - 1)
+                page_stats = state.page_stats
+                counts = page_stats.get(page_base)
+                if counts is None:
+                    counts = [0] * nc
+                    page_stats[page_base] = counts
+                counts[c] += 1
+
+        def run_chunk(start: int, end: int) -> None:  # noqa: C901
+            nonlocal vec_translation, vec_data, vec_on_ring
+            nonlocal acc_remote_placement, acc_epoch_remote
+            nonlocal acc_epoch_accesses, fast_accesses
+
+            m = end - start
+            va_chunk = va_np[start:end]
+            ch_chunk = ch_np[start:end]
+            keys = va_chunk >> shift
+            uniq, inv = np.unique(keys, return_inverse=True)
+            va_list = va_chunk.tolist()
+            ch_list = ch_chunk.tolist()
+            inv_list = inv.tolist()
+            uniq_list = uniq.tolist()
+            n_uniq = len(uniq_list)
+            key_to_j = {k: j for j, k in enumerate(uniq_list)}
+
+            recs: List[object] = [None] * n_uniq
+            units: List[object] = [None] * n_uniq
+            # Plain lists: ``resolve_j`` runs for every unique page and
+            # again on every page-table event, where Python-list writes
+            # beat NumPy scalar writes; ``vec_window`` materializes the
+            # array views lazily (``vec_arrays``) when one goes stale.
+            ok = [False] * n_uniq
+            delta = [0] * n_uniq
+            homec = [0] * n_uniq
+            alloc = [0] * n_uniq
+            vec_arrays = None
+
+            def resolve_j(j: int) -> None:
+                nonlocal vec_arrays
+                va_page = uniq_list[j] << shift
+                rec = pt_lookup(va_page)
+                vec_arrays = None
+                if rec is None or rec.page_size < granule:
+                    # Unmapped (or mapped at sub-granule size, where one
+                    # key no longer identifies one record): the staged
+                    # fallback resolves these accesses exactly.
+                    recs[j] = None
+                    units[j] = None
+                    ok[j] = False
+                    return
+                recs[j] = rec
+                units[j] = unit_tuple(va_page, rec)
+                ok[j] = True
+                delta[j] = rec.paddr - rec.va_base
+                homec[j] = rec.chiplet
+                alloc[j] = rec.alloc_id
+
+            page_table.drain_events()
+            for j in range(n_uniq):
+                resolve_j(j)
+            last_gen = page_table.generation
+
+            def drain_repairs() -> bool:
+                """Re-resolve keys the page table mutated since the last
+                call; True when a previously resolved key went stale (a
+                new scalar position appeared behind the scan cursor)."""
+                nonlocal last_gen
+                if page_table.generation == last_gen:
+                    return False
+                went_stale = False
+                lo = uniq_list[0]
+                hi = uniq_list[-1]
+                for base, size in page_table.drain_events():
+                    k0 = base >> shift
+                    k1 = (base + size - 1) >> shift
+                    if k0 < lo:
+                        k0 = lo
+                    if k1 > hi:
+                        k1 = hi
+                    for k in range(k0, k1 + 1):
+                        j = key_to_j.get(k)
+                        if j is not None:
+                            was_ok = ok[j]
+                            resolve_j(j)
+                            if was_ok and not ok[j]:
+                                went_stale = True
+                last_gen = page_table.generation
+                return went_stale
+
+            def translate_head(
+                c: int,
+                j: int,
+                # Default-bound hot bindings, as in ``vec_window``.
+                units=units,
+                recs=recs,
+                uniq_list=uniq_list,
+                paths=paths,
+                tlb_pairs=tlb_pairs,
+                window_mask=window_mask,
+                walk_inline=walk_inline,
+                l2_tlb_latency=l2_tlb_latency,
+                shift=shift,
+                TLBEntry=TLBEntry,
+            ) -> int:
+                """One head translation of unique page ``j`` by chiplet
+                ``c``; returns the latency.
+
+                An exact inline of the single-size-class
+                :meth:`TranslationPath.access` path (batched runs never
+                use multi-page TLBs): every hit/miss counter, LRU
+                update, insert and walk happens in the same order, but
+                without per-call lambda/result-object allocation.
+                """
+                kind, tag, coverage, size_class, pb = units[j]
+                path = paths[c]
+                pair = tlb_pairs.get((c, size_class))
+                if pair is None:
+                    pair = path._tlbs(size_class)
+                    tlb_pairs[(c, size_class)] = pair
+                l1t, l2t = pair
+                es = l1t._sets[(tag // l1t.index_granule) % l1t.num_sets]
+                e = es.get(tag)
+                if e is not None and e.valid_mask >> pb & 1:
+                    es.move_to_end(tag)
+                    l1t.hits += 1
+                    path.l1_hits += 1
+                    return 0
+                l1t.misses += 1
+                rec = recs[j]
+                es2 = l2t._sets[
+                    (tag // l2t.index_granule) % l2t.num_sets
+                ]
+                e2 = es2.get(tag)
+                if e2 is not None and e2.valid_mask >> pb & 1:
+                    es2.move_to_end(tag)
+                    l2t.hits += 1
+                    path.l2_hits += 1
+                    mask = (
+                        window_mask(kind, tag, coverage, size_class, pb, rec)
+                        if kind
+                        else 1
+                    )
+                    if e is not None:
+                        if e.coverage != coverage:
+                            es[tag] = TLBEntry(tag, coverage, mask)
+                        else:
+                            e.valid_mask |= mask
+                            l1t.coalesced_merges += 1
+                        es.move_to_end(tag)
+                    else:
+                        if len(es) >= l1t.ways:
+                            es.popitem(last=False)
+                        es[tag] = TLBEntry(tag, coverage, mask)
+                    return l2_tlb_latency
+                l2t.misses += 1
+                walk_latency = walk_inline(
+                    c, uniq_list[j] << shift, rec.alloc_id, rec.chiplet
+                )
+                path.walks += 1
+                mask = (
+                    window_mask(kind, tag, coverage, size_class, pb, rec)
+                    if kind
+                    else 1
+                )
+                if e2 is not None:
+                    if e2.coverage != coverage:
+                        es2[tag] = TLBEntry(tag, coverage, mask)
+                    else:
+                        e2.valid_mask |= mask
+                        l2t.coalesced_merges += 1
+                    es2.move_to_end(tag)
+                else:
+                    if len(es2) >= l2t.ways:
+                        es2.popitem(last=False)
+                    es2[tag] = TLBEntry(tag, coverage, mask)
+                if e is not None:
+                    if e.coverage != coverage:
+                        es[tag] = TLBEntry(tag, coverage, mask)
+                    else:
+                        e.valid_mask |= mask
+                        l1t.coalesced_merges += 1
+                    es.move_to_end(tag)
+                else:
+                    if len(es) >= l1t.ways:
+                        es.popitem(last=False)
+                    es[tag] = TLBEntry(tag, coverage, mask)
+                return l2_tlb_latency + walk_latency
+
+            def vec_window(
+                a: int,
+                b: int,
+                # Default-bound hot bindings (local loads in the fused
+                # data loop instead of closure-cell dereferences).
+                l1_sets=l1_sets,
+                l1_ways=l1_ways,
+                l1_latency=l1_latency,
+                l2_sets=l2_sets,
+                l2_ways=l2_ways,
+                l2_latency=l2_latency,
+                use_rc=use_rc,
+                rc_sets=rc_sets,
+                rc_ways=rc_ways,
+                rc_insert_all=rc_insert_all,
+                remote_caches=remote_caches,
+                open_row=open_row,
+                open_row_get=open_row_get,
+                ch_accesses=ch_accesses,
+                row_hit_c=row_hit_c,
+                row_miss_c=row_miss_c,
+            ) -> None:
+                """Replay resolved accesses ``[start+a, start+b)``."""
+                nonlocal vec_translation, vec_data, vec_on_ring
+                nonlocal acc_remote_placement, acc_epoch_remote
+                nonlocal acc_epoch_accesses, vec_arrays
+
+                ch_seg = ch_chunk[a:b]
+                inv_seg = inv[a:b]
+
+                # -- derived per-access arrays for this window --
+                arrs = vec_arrays
+                if arrs is None:
+                    arrs = (
+                        np.array(delta, dtype=np.int64),
+                        np.array(homec, dtype=np.int64),
+                        np.array(alloc, dtype=np.int64),
+                    )
+                    vec_arrays = arrs
+                delta_np, homec_np, alloc_np = arrs
+                paddr = va_chunk[a:b] + delta_np[inv_seg]
+                if naive:
+                    home = (paddr // FINE_INTERLEAVE) % nc
+                else:
+                    home = homec_np[inv_seg]
+                remote = home != ch_seg
+                line = paddr // line_size
+                hashed = (
+                    line.astype(np.uint64) * np.uint64(0x9E3779B1)
+                    & np.uint64(0xFFFFFFFF)
+                ) >> np.uint64(16)
+
+                # -- translation: per-requester run compression --
+                tcyc = 0
+                for c in range(nc):
+                    sel = np.flatnonzero(ch_seg == c)
+                    if not sel.size:
+                        continue
+                    useq = inv_seg[sel]
+                    change = np.empty(useq.size, dtype=bool)
+                    change[0] = True
+                    if useq.size > 1:
+                        np.not_equal(useq[1:], useq[:-1], out=change[1:])
+                    head_pos = np.flatnonzero(change)
+                    run_lens = np.diff(
+                        np.append(head_pos, useq.size)
+                    ).tolist()
+                    path = paths[c]
+                    for hp, rl in zip(head_pos.tolist(), run_lens):
+                        j = int(useq[hp])
+                        tcyc += translate_head(c, j)
+                        if rl > 1:
+                            # The head left the L1 TLB entry present,
+                            # valid-bit set and MRU; the tail is pure L1
+                            # hits at zero latency.  The head guarantees
+                            # ``tlb_pairs`` holds this (c, size_class).
+                            tails = rl - 1
+                            tlb_pairs[(c, units[j][3])][0].hits += tails
+                            path.l1_hits += tails
+                vec_translation += tcyc
+
+                # -- data path: fused loop in global order --
+                ch_l = ch_seg.tolist()
+                pd_l = paddr.tolist()
+                ln_l = line.tolist()
+                hm_l = home.tolist()
+                rm_l = remote.tolist()
+                i1_l = (hashed % np.uint64(l1_ns)).tolist()
+                i2_l = (hashed % np.uint64(l2_ns)).tolist()
+                ri_l = (hashed % np.uint64(rc_ns)).tolist()
+                cn_l = (
+                    home * cpc + (paddr // FINE_INTERLEAVE) % cpc
+                ).tolist()
+                rw_l = (paddr // ROW_SIZE).tolist()
+                co_l = rcost_np[ch_seg, home].tolist()
+                pr_l = (home * nc + ch_seg).tolist()
+
+                dc = 0
+                ror = 0
+                l1_hit = [0] * nc
+                l1_miss = [0] * nc
+                l2_hit = [0] * nc
+                l2_miss = [0] * nc
+                rc_look = [0] * nc
+                rc_hit = [0] * nc
+                rc_miss = [0] * nc
+                pair_counts = [0] * (nc * nc)
+                dram_acc = 0
+                dram_rh = 0
+
+                for c, pd, ln, hm, rm, i1, i2, ri, cn, rw, co, pr in zip(
+                    ch_l, pd_l, ln_l, hm_l, rm_l, i1_l, i2_l, ri_l,
+                    cn_l, rw_l, co_l, pr_l,
+                ):
+                    entries = l1_sets[c][i1]
+                    if ln in entries:
+                        entries.move_to_end(ln)
+                        l1_hit[c] += 1
+                        dc += l1_latency
+                        continue
+                    l1_miss[c] += 1
+                    if len(entries) >= l1_ways:
+                        entries.popitem(last=False)
+                    entries[ln] = True
+                    if rm and use_rc:
+                        rc_look[c] += 1
+                        entries = rc_sets[c][ri]
+                        if ln in entries:
+                            entries.move_to_end(ln)
+                            rc_hit[c] += 1
+                            dc += l2_latency
+                            continue
+                        rc_miss[c] += 1
+                        if rc_insert_all or remote_caches[c].should_insert(
+                            pd
+                        ):
+                            if len(entries) >= rc_ways:
+                                entries.popitem(last=False)
+                            entries[ln] = True
+                    cost = 0
+                    if rm:
+                        cost = co
+                        pair_counts[pr] += 1
+                        ror += 1
+                    entries = l2_sets[hm][i2]
+                    if ln in entries:
+                        entries.move_to_end(ln)
+                        l2_hit[hm] += 1
+                        cost += l2_latency
+                    else:
+                        l2_miss[hm] += 1
+                        if len(entries) >= l2_ways:
+                            entries.popitem(last=False)
+                        entries[ln] = True
+                        dram_acc += 1
+                        ch_accesses[cn] += 1
+                        if open_row_get(cn) == rw:
+                            dram_rh += 1
+                            cost += l2_latency + row_hit_c
+                        else:
+                            open_row[cn] = rw
+                            cost += l2_latency + row_miss_c
+                    dc += cost
+
+                vec_data += dc
+                vec_on_ring += ror
+                for c in range(nc):
+                    l1_caches[c].hits += l1_hit[c]
+                    l1_caches[c].misses += l1_miss[c]
+                    l2_caches[c].hits += l2_hit[c]
+                    l2_caches[c].misses += l2_miss[c]
+                    if use_rc:
+                        rc = remote_caches[c]
+                        rc.remote_lookups += rc_look[c]
+                        rc.remote_hits += rc_hit[c]
+                        rc.cache.hits += rc_hit[c]
+                        rc.cache.misses += rc_miss[c]
+                dram.accesses += dram_acc
+                dram.row_hits += dram_rh
+                traffic = ring.traffic_bytes
+                for p, cnt in enumerate(pair_counts):
+                    if not cnt:
+                        continue
+                    src, dst = divmod(p, nc)
+                    nbytes = _TRANSFER_BYTES * cnt
+                    traffic[(src, dst)] = traffic.get((src, dst), 0) + nbytes
+                    ring.total_bytes += nbytes
+                    ring.hop_bytes += hops_tab[src][dst] * nbytes
+
+                # -- accounting: bincount reductions --
+                aid_seg = alloc_np[inv_seg]
+                totals = np.bincount(aid_seg, minlength=n_alloc)
+                remotes = np.bincount(aid_seg[remote], minlength=n_alloc)
+                for alloc_id in alloc_ids_present:
+                    t = int(totals[alloc_id])
+                    if t:
+                        stats = per_structure[alloc_id]
+                        stats[0] += t
+                        stats[1] += int(remotes[alloc_id])
+                rn = int(np.count_nonzero(remote))
+                acc_remote_placement += rn
+                acc_epoch_remote += rn
+                acc_epoch_accesses += b - a
+
+                if wants_stats:
+                    pb = va_chunk[a:b] & ~np.int64(PAGE_64K - 1)
+                    upb, first_idx, pinv = np.unique(
+                        pb, return_index=True, return_inverse=True
+                    )
+                    counts = np.bincount(
+                        pinv * nc + ch_seg, minlength=len(upb) * nc
+                    ).tolist()
+                    upb_list = upb.tolist()
+                    page_stats = state.page_stats
+                    # New pages must enter the dict in first-touch order
+                    # (policies may iterate it), not in sorted-key order.
+                    order = np.argsort(first_idx, kind="stable").tolist()
+                    for t in order:
+                        base = upb_list[t]
+                        prow = page_stats.get(base)
+                        if prow is None:
+                            prow = [0] * nc
+                            page_stats[base] = prow
+                        off = t * nc
+                        for q in range(nc):
+                            prow[q] += counts[off + q]
+
+
+            def small_window(
+                a: int,
+                b: int,
+                # Default-bound hot bindings, as in ``vec_window``.
+                ch_list=ch_list,
+                va_list=va_list,
+                inv_list=inv_list,
+                paths=paths,
+                tlb_pairs=tlb_pairs,
+                l1_sets=l1_sets,
+                l1_ns=l1_ns,
+                l1_ways=l1_ways,
+                l1_caches=l1_caches,
+                l2_sets=l2_sets,
+                l2_ns=l2_ns,
+                l2_ways=l2_ways,
+                l2_caches=l2_caches,
+                l1_latency=l1_latency,
+                l2_latency=l2_latency,
+                use_rc=use_rc,
+                remote_caches=remote_caches,
+                rc_sets=rc_sets,
+                rc_ns=rc_ns,
+                rc_ways=rc_ways,
+                rc_insert_all=rc_insert_all,
+                rcost_tab=rcost_tab,
+                hops_tab=hops_tab,
+                ring_traffic=ring_traffic,
+                ring_traffic_get=ring_traffic_get,
+                open_row=open_row,
+                open_row_get=open_row_get,
+                ch_accesses=ch_accesses,
+                row_hit_c=row_hit_c,
+                row_miss_c=row_miss_c,
+                per_structure=per_structure,
+                naive=naive,
+                nc=nc,
+                line_size=line_size,
+                cpc=cpc,
+                wants_stats=wants_stats,
+            ) -> None:
+                """Fused scalar replay of resolved accesses [a, b).
+
+                Exactly the semantics of ``vec_window`` — run-compressed
+                translation, inlined data path, per-access accounting —
+                but in plain Python, so short fault-to-fault runs (the
+                first-touch wave of a workload faults every handful of
+                accesses) skip both the staged closures' dispatch cost
+                and the fixed NumPy setup of a vectorized window.
+                """
+                nonlocal vec_translation, vec_data, vec_on_ring
+                nonlocal acc_remote_placement, acc_epoch_remote
+                nonlocal acc_epoch_accesses
+                tcyc = 0
+                dc = 0
+                last_j = [-1] * nc
+                last_aid = -1
+                stats = None
+                last_pb = -1
+                counts = None
+                page_stats = state.page_stats
+                for p in range(a, b):
+                    c = ch_list[p]
+                    va = va_list[p]
+                    j = inv_list[p]
+                    rec = recs[j]
+                    if last_j[c] == j:
+                        # Same unit as this requester's previous access
+                        # in the window: a guaranteed zero-latency L1
+                        # TLB hit (see vec_window's tail argument; the
+                        # head populated ``tlb_pairs`` for this pair).
+                        path = paths[c]
+                        tlb_pairs[(c, units[j][3])][0].hits += 1
+                        path.l1_hits += 1
+                    else:
+                        tcyc += translate_head(c, j)
+                        last_j[c] = j
+                    pd = rec.paddr + (va - rec.va_base)
+                    if naive:
+                        hm = (pd // FINE_INTERLEAVE) % nc
+                    else:
+                        hm = rec.chiplet
+                    rm = hm != c
+                    ln = pd // line_size
+                    h = ((ln * 0x9E3779B1) & 0xFFFFFFFF) >> 16
+                    entries = l1_sets[c][h % l1_ns]
+                    if ln in entries:
+                        entries.move_to_end(ln)
+                        l1_caches[c].hits += 1
+                        dc += l1_latency
+                    else:
+                        l1_caches[c].misses += 1
+                        if len(entries) >= l1_ways:
+                            entries.popitem(last=False)
+                        entries[ln] = True
+                        served_remote = False
+                        if rm and use_rc:
+                            rc = remote_caches[c]
+                            rc.remote_lookups += 1
+                            entries = rc_sets[c][h % rc_ns]
+                            if ln in entries:
+                                entries.move_to_end(ln)
+                                rc.cache.hits += 1
+                                rc.remote_hits += 1
+                                dc += l2_latency
+                                served_remote = True
+                            else:
+                                rc.cache.misses += 1
+                                if rc_insert_all or rc.should_insert(pd):
+                                    if len(entries) >= rc_ways:
+                                        entries.popitem(last=False)
+                                    entries[ln] = True
+                        if not served_remote:
+                            cost = 0
+                            if rm:
+                                cost = rcost_tab[c][hm]
+                                key = (hm, c)
+                                ring_traffic[key] = (
+                                    ring_traffic_get(key, 0)
+                                    + _TRANSFER_BYTES
+                                )
+                                ring.total_bytes += _TRANSFER_BYTES
+                                ring.hop_bytes += (
+                                    hops_tab[hm][c] * _TRANSFER_BYTES
+                                )
+                                vec_on_ring += 1
+                            entries = l2_sets[hm][h % l2_ns]
+                            if ln in entries:
+                                entries.move_to_end(ln)
+                                l2_caches[hm].hits += 1
+                                cost += l2_latency
+                            else:
+                                l2_caches[hm].misses += 1
+                                if len(entries) >= l2_ways:
+                                    entries.popitem(last=False)
+                                entries[ln] = True
+                                cn = (
+                                    hm * cpc
+                                    + (pd // FINE_INTERLEAVE) % cpc
+                                )
+                                rw = pd // ROW_SIZE
+                                dram.accesses += 1
+                                ch_accesses[cn] += 1
+                                if open_row_get(cn) == rw:
+                                    dram.row_hits += 1
+                                    cost += l2_latency + row_hit_c
+                                else:
+                                    open_row[cn] = rw
+                                    cost += l2_latency + row_miss_c
+                            dc += cost
+                    aid = rec.alloc_id
+                    if aid != last_aid:
+                        stats = per_structure[aid]
+                        last_aid = aid
+                    stats[0] += 1
+                    if rm:
+                        acc_remote_placement += 1
+                        stats[1] += 1
+                        acc_epoch_remote += 1
+                    acc_epoch_accesses += 1
+                    if wants_stats:
+                        page_base = va & ~(PAGE_64K - 1)
+                        if page_base != last_pb:
+                            counts = page_stats.get(page_base)
+                            if counts is None:
+                                counts = [0] * nc
+                                page_stats[page_base] = counts
+                            last_pb = page_base
+                        counts[c] += 1
+                vec_translation += tcyc
+                vec_data += dc
+
+            # --- window scan over the chunk ---
+            # Unresolved positions are computed once; faults only shrink
+            # the set (checked lazily via ``ok``), so the list is rebuilt
+            # only when an eviction/demotion makes a resolved key stale.
+            ok_np = np.array(ok, dtype=bool)
+            bad_list = np.flatnonzero(~ok_np[inv]).tolist()
+            bp = 0
+            rel = 0
+            while rel < m:
+                if drain_repairs():
+                    ok_np = np.array(ok, dtype=bool)
+                    bad_list = (
+                        rel + np.flatnonzero(~ok_np[inv[rel:]])
+                    ).tolist()
+                    bp = 0
+                while bp < len(bad_list) and (
+                    bad_list[bp] < rel or ok[inv_list[bad_list[bp]]]
+                ):
+                    bp += 1
+                nxt = bad_list[bp] if bp < len(bad_list) else m
+                f = nxt - rel
+                if f:
+                    if f >= MIN_VEC:
+                        vec_window(rel, nxt)
+                    else:
+                        small_window(rel, nxt)
+                    fast_accesses += f
+                    rel = nxt
+                if rel < m:
+                    scalar_one(start + rel)
+                    rel += 1
+
+        # --- chunk loop with kernel/epoch clipping ---
+        ks_i = 0
+        n_kernels = len(kernel_starts)
+        pos = 0
+        # The replay allocates heavily but briefly (per-chunk lists,
+        # TLB entries, window arrays); cyclic collection mid-run only
+        # adds pauses.  Results are unaffected — this is wall time only.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            while pos < n:
+                if ks_i < n_kernels and kernel_starts[ks_i] == pos:
+                    state.kernel_index += 1
+                    on_kernel(state.kernel_index)
+                    ks_i += 1
+                cend = min(pos + CHUNK, n)
+                if ks_i < n_kernels:
+                    cend = min(cend, kernel_starts[ks_i])
+                cend = min(cend, ((pos // epoch_len) + 1) * epoch_len)
+                run_chunk(pos, cend)
+                pos = cend
+                if pos % epoch_len == 0:
+                    state.remote_placement = acc_remote_placement
+                    state.epoch_remote = acc_epoch_remote
+                    state.epoch_accesses = acc_epoch_accesses
+                    close_epoch(state, None)
+                    acc_epoch_remote = 0
+                    acc_epoch_accesses = 0
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+            # Publish even on an abort so error enrichment and
+            # post-mortems see true totals (mirrors AccessPipeline.run).
+            self.fault_stage.finish()
+            self.translation_stage.finish()
+            self.data_stage.finish()
+            state.translation_cycles += vec_translation
+            state.data_cycles += vec_data
+            state.remote_on_ring += vec_on_ring
+            state.remote_placement = acc_remote_placement
+            state.epoch_remote = acc_epoch_remote
+            state.epoch_accesses = acc_epoch_accesses
+
+        if state.epoch_accesses:
+            close_epoch(state, None)
+        self.fast_path_fraction = fast_accesses / n if n else 1.0
+        return state
+
+
+__all__ = ["BatchedPipeline", "CHUNK", "MIN_VEC"]

@@ -15,18 +15,40 @@ collection (``--telemetry`` / ``REPRO_TELEMETRY``) in
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Union
 
 from ..arch.address import InterleavePolicy
 from ..config import GPUConfig, baseline_config
 from ..policies.contract import validate_policy
 from ..trace.workload import Trace, Workload, WorkloadSpec
+from .batch import BatchedPipeline
 from .energy import energy_report
 from .machine import Machine
 from .pipeline import AccessPipeline, SimState
 from .results import SimResult
 from .telemetry import Instrumentation, resolve_instrumentation
 from .timing import TimingParams, total_cycles
+
+#: Valid values for the ``engine`` argument / ``REPRO_ENGINE`` variable.
+ENGINES = ("staged", "batched", "auto")
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Normalize an engine request: argument > ``REPRO_ENGINE`` > auto.
+
+    Both engines produce bit-identical results (asserted by the golden
+    and differential-fuzz suites), so the choice only affects wall time;
+    ``auto`` picks the batched engine whenever the run is eligible.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE") or "auto"
+    engine = engine.strip().lower()
+    if engine not in ENGINES:
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {ENGINES}"
+        )
+    return engine
 
 
 def run_simulation(
@@ -44,6 +66,7 @@ def run_simulation(
     multi_page_tlb: bool = False,
     instrumentation: Optional[Instrumentation] = None,
     telemetry: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Run ``policy`` on ``workload`` and return the measured result.
 
@@ -61,6 +84,13 @@ def run_simulation(
     records the standard per-stage telemetry into
     ``SimResult.telemetry``.  Telemetry never affects simulated results
     — only wall time.
+
+    ``engine`` selects the replay machinery: ``"staged"`` (the
+    per-access pipeline), ``"batched"`` (vectorized steady-state
+    windows, see :mod:`repro.sim.batch`) or ``"auto"``/None (batched
+    when eligible; ``REPRO_ENGINE`` overrides the default).  Both
+    produce bit-identical results; telemetry-instrumented and
+    multi-page-TLB runs always use the staged pipeline.
     """
     if timing is None:
         timing = TimingParams()
@@ -93,15 +123,24 @@ def run_simulation(
     state = SimState.create(
         machine, workload, policy, capabilities, trace, interleave
     )
-    pipeline = AccessPipeline(
-        state, resolve_instrumentation(instrumentation, telemetry)
-    )
+    hook = resolve_instrumentation(instrumentation, telemetry)
+    choice = resolve_engine(engine)
+    # The batched engine has no telemetry taps and assumes single-size
+    # TLB reach per unit; such runs stay on the staged pipeline even
+    # when batched was requested (results are identical either way).
+    eligible = hook is None and not multi_page_tlb
+    if choice != "staged" and eligible:
+        pipeline = BatchedPipeline(state)
+    else:
+        pipeline = AccessPipeline(state, hook)
     pipeline.run()
     return _fold_result(state, pipeline, timing)
 
 
 def _fold_result(
-    state: SimState, pipeline: AccessPipeline, timing: TimingParams
+    state: SimState,
+    pipeline: Union[AccessPipeline, BatchedPipeline],
+    timing: TimingParams,
 ) -> SimResult:
     """Assemble the :class:`SimResult` from the pipeline's final state."""
     machine = state.machine
@@ -151,4 +190,5 @@ def _fold_result(
         },
         remote_cache_coverage=coverage,
         telemetry=telemetry_data,
+        fast_path_fraction=getattr(pipeline, "fast_path_fraction", None),
     )

@@ -171,7 +171,14 @@ def policy_fingerprint(policy) -> dict:
 
 
 def cell_fingerprint(cell: SweepCell) -> str:
-    """Content hash of every input that determines the cell's result."""
+    """Content hash of every input that determines the cell's result.
+
+    The replay engine (staged/batched, ``REPRO_ENGINE``) is
+    deliberately **not** part of the fingerprint: both engines are
+    bit-identical on ``to_dict`` (the cached payload) — asserted by the
+    golden-cell and differential-fuzz suites — so a result computed
+    under either engine may stand in for the other.
+    """
     payload = {
         "schema": CACHE_SCHEMA_VERSION,
         "workload": _jsonable(cell.workload),

@@ -138,6 +138,31 @@ class SimState:
         return counters
 
 
+def close_epoch(state: SimState, telem: Optional[Instrumentation]) -> None:
+    """Close the current epoch: fire ``policy.on_epoch`` and reset.
+
+    Single source of the epoch semantics, shared by the staged
+    :class:`AccountingStage` and the batched replay engine
+    (:mod:`repro.sim.batch`): the remote ratio the policy sees, the
+    epoch-index advance, and the page-stats reset must be identical in
+    both engines for results to stay bit-identical.  The caller must
+    have synced ``state.epoch_remote`` / ``state.epoch_accesses`` first.
+    """
+    ratio = (
+        state.epoch_remote / state.epoch_accesses
+        if state.epoch_accesses
+        else 0.0
+    )
+    state.policy.on_epoch(state.epoch_index, state.page_stats, ratio)
+    if telem is not None:
+        telem.on_epoch(state.epoch_index, ratio, state.per_structure)
+    state.epoch_index += 1
+    state.epoch_remote = 0
+    state.epoch_accesses = 0
+    if state.capabilities.wants_page_stats:
+        state.page_stats = {}
+
+
 class FaultStage:
     """Resolve page faults: fault buffer, policy placement, eviction.
 
@@ -395,21 +420,7 @@ class AccountingStage:
         self.publish = publish
 
     def _close_epoch(self) -> None:
-        state = self.state
-        ratio = (
-            state.epoch_remote / state.epoch_accesses
-            if state.epoch_accesses
-            else 0.0
-        )
-        state.policy.on_epoch(state.epoch_index, state.page_stats, ratio)
-        if self._telem is not None:
-            self._telem.on_epoch(state.epoch_index, ratio,
-                                 state.per_structure)
-        state.epoch_index += 1
-        state.epoch_remote = 0
-        state.epoch_accesses = 0
-        if state.capabilities.wants_page_stats:
-            state.page_stats = {}
+        close_epoch(self.state, self._telem)
 
     def finish(self) -> None:
         """Publish counters and flush the final partial epoch.
@@ -488,5 +499,6 @@ __all__ = [
     "FaultStage",
     "SimState",
     "TranslationStage",
+    "close_epoch",
     "validate_policy",
 ]

@@ -57,6 +57,12 @@ class SimResult:
     #: ``REPRO_TELEMETRY`` (see repro.sim.telemetry); None when off.
     #: Already JSON-compatible, so it round-trips through to_dict as is.
     telemetry: Optional[Dict[str, object]] = None
+    #: Fraction of trace accesses the batched engine replayed through its
+    #: vectorized steady-state windows; None under the staged engine.
+    #: Like wall time, this describes *how* the run was computed, not
+    #: what it computed — it is excluded from equality and ``to_dict``
+    #: so cached/staged/batched results of the same cell stay equal.
+    fast_path_fraction: Optional[float] = field(default=None, compare=False)
 
     @property
     def performance(self) -> float:
@@ -119,7 +125,13 @@ class SimResult:
         data: Dict[str, object] = {
             f.name: getattr(self, f.name)
             for f in fields(self)
-            if f.name not in ("energy", "selections", "per_structure_remote")
+            if f.name
+            not in (
+                "energy",
+                "selections",
+                "per_structure_remote",
+                "fast_path_fraction",
+            )
         }
         energy = self.energy
         data["energy"] = (

@@ -65,13 +65,16 @@ def run_workload(
     seed: int = 7,
     timing: Optional[TimingParams] = None,
     telemetry: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> SimResult:
     """Run one (workload, policy) pair and return its :class:`SimResult`.
 
     ``timing=None`` means the default :class:`TimingParams`, constructed
     per call inside the engine (never a shared module-level instance).
     ``telemetry`` forces per-stage telemetry on/off; ``None`` defers to
-    the ``REPRO_TELEMETRY`` environment flag.
+    the ``REPRO_TELEMETRY`` environment flag.  ``engine`` selects
+    staged/batched/auto replay (``None`` defers to ``REPRO_ENGINE``);
+    results are bit-identical either way.
     """
     spec = workload_by_name(workload) if isinstance(workload, str) else workload
     return run_simulation(
@@ -83,4 +86,5 @@ def run_workload(
         seed=seed,
         timing=timing,
         telemetry=telemetry,
+        engine=engine,
     )

@@ -275,6 +275,11 @@ def resolve_instrumentation(
     (or the ``REPRO_TELEMETRY`` environment variable when ``telemetry``
     is None) selects a fresh :class:`TelemetryCollector`.  Returns None
     for the telemetry-off fast path.
+
+    A non-None return also pins the run to the staged pipeline: the
+    batched engine (:mod:`repro.sim.batch`) has no per-access hook
+    points, so instrumented runs always replay access-by-access (see
+    ``run_simulation``'s eligibility check).
     """
     if instrumentation is not None:
         return instrumentation if instrumentation.enabled else None

@@ -115,10 +115,19 @@ def valid_mask_for(
     page_size = unit.size_class
     pages = unit.coverage // page_size
     require_region = record.region if unit.kind is UnitKind.COALESCED else None
+    # Only PTEs of exactly ``page_size`` can contribute valid bits, and
+    # the page table buckets PTEs by size (promotion removes the base
+    # PTEs it replaces, so sizes never overlap a vaddr) — probe that
+    # size's table directly instead of the full largest-first lookup.
+    table = page_table._tables.get(page_size)
+    if table is None:
+        return 1 << unit.page_bit
+    probe = table.get
+    base_vpn = unit.tag // page_size
     mask = 0
     for i in range(pages):
-        candidate = page_table.lookup(unit.tag + i * page_size)
-        if candidate is None or candidate.page_size != page_size:
+        candidate = probe(base_vpn + i)
+        if candidate is None:
             continue
         if require_region is not None and candidate.region is not require_region:
             continue

@@ -148,6 +148,23 @@ class PageTable:
         self.mapped_pages = 0
         self.promotions = 0
         self.demotions = 0
+        #: Monotonic mutation counter.  Every operation that installs or
+        #: removes a PTE bumps it, so a reader holding resolved records
+        #: (the batched replay engine) can detect staleness with one
+        #: integer compare instead of re-walking the table.
+        self.generation = 0
+        #: Virtual ranges touched since the last :meth:`drain_events`
+        #: call, as ``(va_base, size)`` pairs.  All four mutation paths
+        #: (map/unmap/promote/demote) funnel through here, which is what
+        #: lets the batched engine invalidate exactly the window keys a
+        #: fault or promotion changed.
+        self._events: List[Tuple[int, int]] = []
+
+    def drain_events(self) -> List[Tuple[int, int]]:
+        """Return and clear the ``(va_base, size)`` mutation log."""
+        events = self._events
+        self._events = []
+        return events
 
     # --- mapping ---
 
@@ -187,6 +204,8 @@ class PageTable:
         )
         table[vpn] = record
         self.mapped_pages += 1
+        self.generation += 1
+        self._events.append((va_base, page_size))
         if region is not None:
             region.mapped += 1
         return record
@@ -199,6 +218,8 @@ class PageTable:
             if record is not None:
                 del table[vaddr // size]
                 self.mapped_pages -= 1
+                self.generation += 1
+                self._events.append((record.va_base, record.page_size))
                 if record.region is not None:
                     record.region.mapped -= 1
                 return record
@@ -256,6 +277,8 @@ class PageTable:
         )
         self._table_for(region.size)[region.va_base // region.size] = promoted
         self.mapped_pages += 1
+        self.generation += 1
+        self._events.append((region.va_base, region.size))
         region.promoted = True
         self.promotions += 1
         return promoted
@@ -275,6 +298,8 @@ class PageTable:
         if promoted is None:
             raise ValueError("promoted PTE missing; bookkeeping out of sync")
         self.mapped_pages -= 1
+        self.generation += 1
+        self._events.append((region.va_base, region.size))
         region.promoted = False
         region.mapped = 0
         count = region.size // region.page_size

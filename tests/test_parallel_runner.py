@@ -168,6 +168,20 @@ def test_fingerprint_ignores_tag():
     assert a == b
 
 
+def test_fingerprint_is_engine_independent(monkeypatch):
+    """The replay engine never enters the cache key: staged and batched
+    results are bit-identical on ``to_dict`` (the cached payload), so a
+    result computed under either engine stands in for the other."""
+    spec = small_spec()
+    keys = set()
+    for engine in ("staged", "batched", "auto"):
+        monkeypatch.setenv("REPRO_ENGINE", engine)
+        keys.add(cell_fingerprint(SweepCell(spec, StaticPaging(PAGE_64K))))
+    monkeypatch.delenv("REPRO_ENGINE")
+    keys.add(cell_fingerprint(SweepCell(spec, StaticPaging(PAGE_64K))))
+    assert len(keys) == 1
+
+
 # --- cache behaviour ---------------------------------------------------
 
 

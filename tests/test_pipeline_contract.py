@@ -81,6 +81,50 @@ def test_pipeline_matches_pre_refactor_engine(workload, policy, kwargs):
         )
 
 
+@pytest.mark.parametrize(
+    "workload, policy, kwargs",
+    GOLDEN_CELLS,
+    ids=[_golden_key(*cell) for cell in GOLDEN_CELLS],
+)
+def test_batched_engine_matches_golden(workload, policy, kwargs):
+    """The batched engine reproduces the same recordings bit-for-bit.
+
+    Together with ``test_pipeline_matches_pre_refactor_engine`` this
+    pins monolithic == staged == batched on all twelve golden cells.
+    """
+    golden = GOLDEN[_golden_key(workload, policy, kwargs)]
+    result = run_workload(
+        workload, policy, engine="batched", **kwargs
+    ).to_dict()
+    assert result.pop("telemetry", None) is None
+    assert set(result) == set(golden)
+    for field_name in sorted(golden):
+        assert result[field_name] == golden[field_name], (
+            f"{workload}/{policy}: field {field_name!r} diverged between "
+            f"the batched engine and the golden recording"
+        )
+
+
+def test_fast_path_fraction_reported_on_fault_light_cells():
+    """Batched runs report how much of the trace went vectorized.
+
+    The quick-sweep cells fault on well under a fifth of their
+    accesses, so the steady-state windows must carry > 0.8 of the
+    replay; the staged engine reports None (no fast path exists).
+    """
+    for workload, policy in [
+        ("STE", "S-64KB"), ("BLK", "CLAP"), ("GPT3", "Ideal_C-NUMA"),
+    ]:
+        result = run_workload(workload, policy, engine="batched")
+        assert result.fast_path_fraction is not None
+        assert result.fast_path_fraction > 0.8, (workload, policy)
+        # Computed-how metadata stays out of the result-cache payload
+        # and out of equality: staged and batched results stay equal.
+        assert "fast_path_fraction" not in result.to_dict()
+    staged = run_workload("STE", "S-64KB", engine="staged")
+    assert staged.fast_path_fraction is None
+
+
 # --- the policy contract ---
 
 

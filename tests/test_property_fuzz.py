@@ -131,6 +131,32 @@ def test_clap_on_random_workloads(spec, seed):
     assert result.page_faults > 0
 
 
+# --- engine differential equivalence (staged vs batched) --------------
+
+_any_policy = st.sampled_from(
+    [
+        "S-64KB", "S-2MB", "CLAP", "Ideal", "F-Barre",
+        "GRIT", "MGvm", "Ideal_C-NUMA",
+    ]
+)
+
+
+@given(spec=_random_spec(), seed=st.integers(0, 50), policy=_any_policy)
+@settings(max_examples=30, deadline=None)
+def test_batched_engine_bit_identical_to_staged(spec, seed, policy):
+    """For any workload shape, seed and policy family, the batched
+    engine must produce the *same* ``SimResult`` as the staged pipeline
+    — every counter, cycle total, selection and energy figure, as
+    serialized by ``to_dict`` (the result-cache payload, which is also
+    why the cache key may ignore the engine)."""
+    from repro.sim.runner import run_workload
+
+    staged = run_workload(spec, policy, seed=seed, engine="staged")
+    batched = run_workload(spec, policy, seed=seed, engine="batched")
+    assert staged == batched
+    assert staged.to_dict() == batched.to_dict()
+
+
 # --- determinism (the invariant the result cache relies on) -----------
 
 @given(spec=_random_spec(), seed=st.integers(0, 50))
