@@ -329,6 +329,12 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 1 if runner.stats.failures else 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.cli import run_lint_command
+
+    return run_lint_command(args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -370,6 +376,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     report_parser.add_argument("--quick", action="store_true")
     _add_runner_flags(report_parser)
+
+    lint_parser = sub.add_parser(
+        "lint",
+        help="run the repro-lint simulator-invariant static analysis "
+             "(RPR001-RPR005; see DESIGN.md section 8)",
+    )
+    from .analysis.cli import add_lint_arguments
+
+    add_lint_arguments(lint_parser)
     return parser
 
 
@@ -391,6 +406,7 @@ def main(argv=None) -> int:
         "sweep": _cmd_sweep,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
+        "lint": _cmd_lint,
     }
     handler = handlers[args.command]
     if getattr(args, "profile", False):

@@ -1,0 +1,33 @@
+"""repro-lint: simulator-invariant static analysis.
+
+An AST-based checker framework encoding the invariants this codebase
+has paid for in bugs (see DESIGN.md section 8):
+
+* :mod:`repro.analysis.core` — rule registry, project/file model,
+  inline suppression, the ``run_lint`` driver;
+* :mod:`repro.analysis.baseline` — grandfathered-finding baseline;
+* :mod:`repro.analysis.rules` — the repo-specific rules
+  (``RPR001``…``RPR005``);
+* :mod:`repro.analysis.cli` — the ``python -m repro lint`` subcommand.
+"""
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .cli import default_scan_root
+from .core import Finding, Project, all_rules, run_lint
+
+__all__ = [
+    "DEFAULT_BASELINE_NAME",
+    "Finding",
+    "Project",
+    "all_rules",
+    "apply_baseline",
+    "default_scan_root",
+    "load_baseline",
+    "run_lint",
+    "write_baseline",
+]

@@ -1,0 +1,17 @@
+"""Built-in repro-lint rules; importing this package registers them."""
+
+from . import (  # noqa: F401
+    cache_payload,
+    determinism,
+    engine_parity,
+    mutable_defaults,
+    policy_contract,
+)
+
+__all__ = [
+    "cache_payload",
+    "determinism",
+    "engine_parity",
+    "mutable_defaults",
+    "policy_contract",
+]

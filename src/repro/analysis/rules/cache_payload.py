@@ -1,0 +1,273 @@
+"""RPR002 — cache-payload coverage: every SimResult field is declared.
+
+The PR 3/4 bug class: ``SimResult`` fields silently leaking into or
+missing from the result-cache payload.  ``telemetry`` had to be
+stripped before cache writes (schema v3); ``fast_path_fraction`` had to
+be excluded from ``to_dict`` *and* equality so cached/staged/batched
+results of one cell compare equal (schema v4 averted).  Both fixes
+relied on someone remembering.
+
+``sim/results.py`` now declares a three-way partition of the dataclass
+fields, and this rule enforces it statically:
+
+* ``CACHE_PAYLOAD_FIELDS`` — serialized generically by ``to_dict``;
+* ``CACHE_CUSTOM_FIELDS`` — serialized by explicit ``data[...] = ...``
+  conversion code in ``to_dict`` (nested dataclasses);
+* ``CACHE_EXCLUDED_FIELDS`` — never serialized, and therefore required
+  to carry ``field(compare=False)`` so they cannot break equality
+  between a live result and its cache round trip.
+
+A new ``SimResult`` field that is not added to exactly one of the three
+lists fails the lint — a cache schema decision can no longer be
+forgotten.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    is_dataclass_def,
+    literal_str_tuple,
+    register,
+)
+
+RESULTS_FILE = "sim/results.py"
+RESULT_CLASS = "SimResult"
+
+PAYLOAD_CONST = "CACHE_PAYLOAD_FIELDS"
+CUSTOM_CONST = "CACHE_CUSTOM_FIELDS"
+EXCLUDED_CONST = "CACHE_EXCLUDED_FIELDS"
+
+
+def _finding(src: SourceFile, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        code="RPR002",
+        path=src.path,
+        rel=src.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _module_const(
+    tree: ast.Module, name: str
+) -> Tuple[Optional[Tuple[str, ...]], Optional[ast.AST]]:
+    for node in tree.body:
+        target = None
+        value = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target, value = node.targets[0], node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            target, value = node.target, node.value
+        if isinstance(target, ast.Name) and target.id == name:
+            return literal_str_tuple(value), node
+    return None, None
+
+
+def _is_classvar(annotation: ast.AST) -> bool:
+    node = annotation
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    return name == "ClassVar"
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    fields: Dict[str, ast.AnnAssign] = {}
+    for node in cls.body:
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and not _is_classvar(node.annotation)
+        ):
+            fields[node.target.id] = node
+    return fields
+
+
+def _has_compare_false(node: ast.AnnAssign) -> bool:
+    value = node.value
+    if not isinstance(value, ast.Call) or call_name(value) != "field":
+        return False
+    for kw in value.keywords:
+        if (
+            kw.arg == "compare"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+        ):
+            return True
+    return False
+
+
+def _method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for node in cls.body:
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _assigned_data_keys(func: ast.FunctionDef) -> List[str]:
+    """String keys written via ``data["key"] = ...`` inside ``func``."""
+    keys: List[str] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.slice, ast.Constant)
+                    and isinstance(target.slice.value, str)
+                ):
+                    keys.append(target.slice.value)
+    return keys
+
+
+def _references_name(func: ast.FunctionDef, name: str) -> bool:
+    return any(
+        isinstance(node, ast.Name) and node.id == name
+        for node in ast.walk(func)
+    )
+
+
+@register("RPR002", "cache-payload-coverage")
+def check_cache_payload(project: Project) -> Iterator[Finding]:
+    """Every ``SimResult`` field appears in exactly one of
+    ``CACHE_PAYLOAD_FIELDS`` / ``CACHE_CUSTOM_FIELDS`` /
+    ``CACHE_EXCLUDED_FIELDS``, custom fields have explicit ``to_dict``
+    conversions, and excluded fields carry ``compare=False`` (PR 3/4
+    bug class)."""
+    src = project.source(RESULTS_FILE)
+    if src is None:
+        return
+    tree = src.tree
+
+    cls = next(
+        (
+            node
+            for node in tree.body
+            if isinstance(node, ast.ClassDef)
+            and node.name == RESULT_CLASS
+            and is_dataclass_def(node)
+        ),
+        None,
+    )
+    if cls is None:
+        yield _finding(
+            src,
+            tree,
+            f"{RESULTS_FILE} defines no @dataclass {RESULT_CLASS}; the "
+            "cache-payload contract cannot be checked",
+        )
+        return
+
+    declared: Dict[str, Tuple[str, ...]] = {}
+    for const in (PAYLOAD_CONST, CUSTOM_CONST, EXCLUDED_CONST):
+        values, node = _module_const(tree, const)
+        if node is None:
+            yield _finding(
+                src,
+                cls,
+                f"missing module constant {const}: the cache payload "
+                "partition must be declared next to SimResult",
+            )
+            return
+        if values is None:
+            yield _finding(
+                src,
+                node,
+                f"{const} must be a literal tuple/list of field-name "
+                "strings (statically checkable)",
+            )
+            return
+        declared[const] = values
+
+    fields = _dataclass_fields(cls)
+    field_names = set(fields)
+    payload = declared[PAYLOAD_CONST]
+    custom = declared[CUSTOM_CONST]
+    excluded = declared[EXCLUDED_CONST]
+
+    seen: Dict[str, str] = {}
+    for const, names in declared.items():
+        for name in names:
+            if name in seen and seen[name] != const:
+                yield _finding(
+                    src,
+                    cls,
+                    f"field {name!r} declared in both {seen[name]} and "
+                    f"{const}; the partition must be disjoint",
+                )
+            seen[name] = const
+            if name not in field_names:
+                yield _finding(
+                    src,
+                    cls,
+                    f"{const} names {name!r}, which is not a "
+                    f"{RESULT_CLASS} dataclass field (stale declaration)",
+                )
+
+    for name, node in fields.items():
+        if name not in seen:
+            yield _finding(
+                src,
+                node,
+                f"SimResult field {name!r} is in none of "
+                f"{PAYLOAD_CONST}/{CUSTOM_CONST}/{EXCLUDED_CONST}; "
+                "declare whether it enters the cache payload (and bump "
+                "CACHE_SCHEMA_VERSION if it does)",
+            )
+
+    for name in excluded:
+        node = fields.get(name)
+        if node is not None and not _has_compare_false(node):
+            yield _finding(
+                src,
+                node,
+                f"cache-excluded field {name!r} must be declared with "
+                "field(compare=False): a field absent from the payload "
+                "but present in equality makes cached results compare "
+                "unequal to live ones",
+            )
+
+    to_dict = _method(cls, "to_dict")
+    if to_dict is None:
+        yield _finding(src, cls, "SimResult.to_dict is missing")
+        return
+    from_dict = _method(cls, "from_dict")
+    if from_dict is None:
+        yield _finding(src, cls, "SimResult.from_dict is missing")
+
+    if not _references_name(to_dict, PAYLOAD_CONST):
+        yield _finding(
+            src,
+            to_dict,
+            f"to_dict must build its generic payload from "
+            f"{PAYLOAD_CONST} (so the declaration cannot drift from "
+            "the implementation)",
+        )
+
+    assigned = set(_assigned_data_keys(to_dict))
+    for name in custom:
+        if name not in assigned:
+            yield _finding(
+                src,
+                to_dict,
+                f"custom cache field {name!r} has no explicit "
+                f'data["{name}"] = ... conversion in to_dict',
+            )
+    for name in assigned - set(custom):
+        yield _finding(
+            src,
+            to_dict,
+            f"to_dict explicitly assigns data[{name!r}] but {name!r} "
+            f"is not declared in {CUSTOM_CONST}",
+        )

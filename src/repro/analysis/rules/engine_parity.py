@@ -1,0 +1,428 @@
+"""RPR004 — engine parity: the staged and batched engines must drift
+at lint time, not in the fuzz suite.
+
+DESIGN.md section 7 argues the batched engine is *bit-identical* to the
+staged pipeline because its inlined fallback sequences mirror the
+staged stages statement for statement.  That argument decays the first
+time someone edits one copy — ``sim/batch.py`` holds three inlined
+copies of the data path (``scalar_one``, ``small_window``,
+``vec_window``) against one staged original
+(``DataStage.process``) — and until now only the 30-case differential
+fuzz property stood between a one-sided edit and silently divergent
+results.
+
+This rule extracts a *normalized memory-path sequence* from each copy
+and diffs them:
+
+* every identifier the functions touch is classified into a channel
+  (L1, REMOTE_CACHE, RING, L2, DRAM) via an explicit token table;
+* per function, tokens are ordered by source position, collapsed, and
+  reduced to first-occurrence order — the order in which the copy
+  consults the memory hierarchy;
+* all four copies must report the identical channel order (canonically
+  L1 → REMOTE_CACHE → L2 → RING → DRAM: the remote-cache *hit* pays L2
+  latency before any ring traversal is costed).
+
+Three auxiliary parity checks ride along: the ring transfer payload
+constant must agree between the staged literal and ``_TRANSFER_BYTES``;
+``policy.on_epoch`` may only fire through the shared ``close_epoch``
+(both engines must share one epoch semantics); and the batched
+translation copies must route through ``translate_head`` or replicate
+its exact TLB sequence.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    iter_nodes_in_order,
+    register,
+)
+
+PIPELINE_FILE = "sim/pipeline.py"
+BATCH_FILE = "sim/batch.py"
+
+#: Identifier -> data-path channel.  Exact names, not substrings: the
+#: table is the normalization contract, and a rename that escapes it
+#: fails the lint loudly (update the table with the rename).
+DATA_CHANNELS: Dict[str, str] = {
+    # L1 data cache
+    "l1_caches": "L1",
+    "l1_sets": "L1",
+    "l1_latency": "L1",
+    "l1_hit": "L1",
+    "l1_miss": "L1",
+    "l1_ways": "L1",
+    # remote cache
+    "remote_caches": "REMOTE_CACHE",
+    "rc_sets": "REMOTE_CACHE",
+    "rc_ways": "REMOTE_CACHE",
+    "rc_insert_all": "REMOTE_CACHE",
+    "rc_look": "REMOTE_CACHE",
+    "rc_hit": "REMOTE_CACHE",
+    "rc_miss": "REMOTE_CACHE",
+    "remote_lookups": "REMOTE_CACHE",
+    "remote_hits": "REMOTE_CACHE",
+    "use_rc": "REMOTE_CACHE",
+    "should_insert": "REMOTE_CACHE",
+    # ring / inter-chiplet transfer
+    "ring": "RING",
+    "rcost_tab": "RING",
+    "rcost_np": "RING",
+    "hops_tab": "RING",
+    "ring_traffic": "RING",
+    "ring_traffic_get": "RING",
+    "_TRANSFER_BYTES": "RING",
+    "record_transfer": "RING",
+    "pair_counts": "RING",
+    "vec_on_ring": "RING",
+    "ror": "RING",
+    "remote_on_ring": "RING",
+    # home L2
+    "l2_caches": "L2",
+    "l2_sets": "L2",
+    "l2_latency": "L2",
+    "l2_hit": "L2",
+    "l2_miss": "L2",
+    "l2_ways": "L2",
+    # DRAM
+    "dram": "DRAM",
+    "open_row": "DRAM",
+    "open_row_get": "DRAM",
+    "ch_accesses": "DRAM",
+    "row_hit_c": "DRAM",
+    "row_miss_c": "DRAM",
+    "row_hits": "DRAM",
+    "ROW_SIZE": "DRAM",
+    "dram_acc": "DRAM",
+    "dram_rh": "DRAM",
+}
+
+#: Identifier -> translation-path channel, for comparing the batched
+#: translation copies against ``translate_head``.
+TRANSLATION_CHANNELS: Dict[str, str] = {
+    "unit_for": "UNIT",
+    "unit_tuple": "UNIT",
+    "units": "UNIT",
+    "tlb_pairs": "TLB_PAIR",
+    "_tlbs": "TLB_PAIR",
+    "l1t": "L1_TLB",
+    "l2t": "L2_TLB",
+    "l2_tlb_latency": "L2_TLB",
+    "walk_inline": "WALK",
+    "walk_latency": "WALK",
+    "walker": "WALK",
+    "walkers": "WALK",
+    "walk": "WALK",
+    "window_mask": "MASK",
+    "valid_mask_for": "MASK",
+    "TLBEntry": "TLB_INSERT",
+}
+
+#: The batched data-path copies that must agree with the staged stage.
+BATCH_DATA_FUNCS = ("scalar_one", "small_window", "vec_window")
+
+
+def _finding(
+    src: SourceFile, node: ast.AST, message: str
+) -> Finding:
+    return Finding(
+        code="RPR004",
+        path=src.path,
+        rel=src.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _find_function(
+    tree: ast.AST, name: str
+) -> Optional[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _tokens_in_order(
+    nodes: Sequence[ast.AST], table: Dict[str, str]
+) -> List[str]:
+    """Channel stream for identifier tokens, in source order."""
+    stream: List[str] = []
+    for node in nodes:
+        token: Optional[str] = None
+        if isinstance(node, ast.Name):
+            token = node.id
+        elif isinstance(node, ast.Attribute):
+            token = node.attr
+        if token is None:
+            continue
+        channel = table.get(token)
+        if channel is not None:
+            stream.append(channel)
+    return stream
+
+
+def _body_nodes(func: ast.FunctionDef) -> List[ast.AST]:
+    """Position-ordered nodes of the *body* only — the batch engine's
+    default-binding idiom (``l1_sets=l1_sets``) repeats every hot name
+    in the signature, which must not count as a memory-path touch."""
+    nodes: List[ast.AST] = []
+    for stmt in func.body:
+        nodes.extend(iter_nodes_in_order(stmt))
+    return nodes
+
+
+def _first_occurrence(stream: Sequence[str]) -> Tuple[str, ...]:
+    seen: List[str] = []
+    for channel in stream:
+        if channel not in seen:
+            seen.append(channel)
+    return tuple(seen)
+
+
+def _collapse(stream: Sequence[str]) -> Tuple[str, ...]:
+    out: List[str] = []
+    for channel in stream:
+        if not out or out[-1] != channel:
+            out.append(channel)
+    return tuple(out)
+
+
+def _data_sequence(func: ast.FunctionDef) -> Tuple[str, ...]:
+    return _first_occurrence(_tokens_in_order(_body_nodes(func),
+                                              DATA_CHANNELS))
+
+
+def _fused_loop(func: ast.FunctionDef) -> Optional[ast.For]:
+    """``vec_window``'s fused data loop: the ``for`` whose body touches
+    ``l1_sets`` (array-derivation prep above it consults channels in
+    construction order, not access order, so only the loop is the
+    data-path copy; its batched ring/DRAM flushes trail the loop and
+    are covered by the RING/DRAM tokens inside it)."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.For):
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Name) and sub.id == "l1_sets":
+                    return node
+    return None
+
+
+def _ring_payload_literal(func: ast.FunctionDef) -> Optional[int]:
+    """The integer payload passed to ``ring.record_transfer`` in the
+    staged data stage."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            name = call_name(node)
+            if name is not None and name.endswith("record_transfer"):
+                for arg in node.args:
+                    if isinstance(arg, ast.Constant) and isinstance(
+                        arg.value, int
+                    ):
+                        return arg.value
+    return None
+
+
+def _module_int(tree: ast.Module, name: str) -> Optional[int]:
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (
+                isinstance(target, ast.Name)
+                and target.id == name
+                and isinstance(node.value, ast.Constant)
+                and isinstance(node.value.value, int)
+            ):
+                return node.value.value
+    return None
+
+
+def _calls_function(func: ast.FunctionDef, callee: str) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and (call_name(node) or "").split(".")[-1] == callee
+        for node in ast.walk(func)
+    )
+
+
+def _check_epoch_routing(src: SourceFile) -> Iterator[Finding]:
+    """``policy.on_epoch`` may fire only inside ``close_epoch``: the
+    epoch semantics (remote ratio, index advance, page-stats reset)
+    must stay single-sourced for both engines."""
+    funcs = [
+        node
+        for node in ast.walk(src.tree)
+        if isinstance(node, ast.FunctionDef)
+    ]
+    covered = set()
+    for func in funcs:
+        if func.name == "close_epoch":
+            for node in ast.walk(func):
+                covered.add(id(node))
+    for node in ast.walk(src.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "on_epoch"
+            and id(node) not in covered
+        ):
+            yield _finding(
+                src,
+                node,
+                "policy.on_epoch called outside close_epoch(); both "
+                "engines must share the single epoch-closing sequence "
+                "(remote ratio, index advance, page-stats reset)",
+            )
+
+
+@register("RPR004", "engine-parity")
+def check_engine_parity(project: Project) -> Iterator[Finding]:
+    """The staged ``DataStage`` and the three inlined batched copies
+    must consult the memory hierarchy in the same normalized order,
+    agree on the ring payload constant, route epochs through
+    ``close_epoch``, and share one translation head (DESIGN.md §7)."""
+    pipeline = project.source(PIPELINE_FILE)
+    batch = project.source(BATCH_FILE)
+    if pipeline is None or batch is None:
+        # Single-engine project (or fixture): nothing to compare.
+        return
+
+    # --- reference sequence: the staged DataStage.process ---
+    data_stage = _find_class(pipeline.tree, "DataStage")
+    staged_process = (
+        _find_function(data_stage, "process") if data_stage else None
+    )
+    if staged_process is None:
+        yield _finding(
+            pipeline,
+            pipeline.tree,
+            "DataStage.process not found; the engine-parity reference "
+            "sequence cannot be extracted",
+        )
+        return
+    reference = _data_sequence(staged_process)
+
+    # --- batched copies ---
+    for name in BATCH_DATA_FUNCS:
+        func = _find_function(batch.tree, name)
+        if func is None:
+            yield _finding(
+                batch,
+                batch.tree,
+                f"batched data-path copy {name}() not found; the "
+                "DESIGN.md §7 parity argument names three inlined "
+                "copies",
+            )
+            continue
+        if name == "vec_window":
+            loop = _fused_loop(func)
+            if loop is None:
+                yield _finding(
+                    batch,
+                    func,
+                    "vec_window has no fused data loop touching "
+                    "l1_sets; cannot extract its memory-path sequence",
+                )
+                continue
+            stream = _tokens_in_order(
+                iter_nodes_in_order(loop), DATA_CHANNELS
+            )
+            sequence = _first_occurrence(stream)
+        else:
+            sequence = _data_sequence(func)
+        if sequence != reference:
+            yield _finding(
+                batch,
+                func,
+                f"memory-path order of {name}() is "
+                f"{' -> '.join(sequence)} but the staged "
+                f"DataStage.process order is {' -> '.join(reference)}; "
+                "the engines have drifted (DESIGN.md §7 bit-identity)",
+            )
+
+    # --- ring payload constant ---
+    staged_payload = _ring_payload_literal(staged_process)
+    batch_payload = _module_int(batch.tree, "_TRANSFER_BYTES")
+    if (
+        staged_payload is not None
+        and batch_payload is not None
+        and staged_payload != batch_payload
+    ):
+        yield _finding(
+            batch,
+            batch.tree,
+            f"ring transfer payload drifted: staged DataStage sends "
+            f"{staged_payload} bytes, batched _TRANSFER_BYTES is "
+            f"{batch_payload}",
+        )
+
+    # --- translation head sharing ---
+    translate_head = _find_function(batch.tree, "translate_head")
+    if translate_head is not None:
+        head_seq = _collapse(
+            _tokens_in_order(
+                _body_nodes(translate_head), TRANSLATION_CHANNELS
+            )
+        )
+        for name in ("small_window", "vec_window"):
+            func = _find_function(batch.tree, name)
+            if func is not None and not _calls_function(
+                func, "translate_head"
+            ):
+                yield _finding(
+                    batch,
+                    func,
+                    f"{name}() does not route translation through "
+                    "translate_head(); a fourth inlined translation "
+                    "copy breaks the parity argument",
+                )
+        scalar = _find_function(batch.tree, "scalar_one")
+        if scalar is not None and not _calls_function(
+            scalar, "translate_head"
+        ):
+            # scalar_one inlines the head (fault path); its translation
+            # prefix must replay the head's exact channel sequence.
+            full = _tokens_in_order(
+                _body_nodes(scalar), TRANSLATION_CHANNELS
+            )
+            scalar_seq = _collapse(full)[: len(head_seq)]
+            if scalar_seq != head_seq:
+                yield _finding(
+                    batch,
+                    scalar,
+                    "scalar_one()'s inlined translation sequence "
+                    f"({' -> '.join(scalar_seq)}) does not match "
+                    f"translate_head ({' -> '.join(head_seq)}); the "
+                    "fault-path copy has drifted",
+                )
+
+    # --- epoch routing, in both engine files ---
+    yield from _check_epoch_routing(pipeline)
+    yield from _check_epoch_routing(batch)
+    batch_calls_close = any(
+        isinstance(node, ast.Call)
+        and (call_name(node) or "").split(".")[-1] == "close_epoch"
+        for node in ast.walk(batch.tree)
+    )
+    if not batch_calls_close:
+        yield _finding(
+            batch,
+            batch.tree,
+            "the batched engine never calls close_epoch(); epoch "
+            "callbacks must go through the shared sequence in "
+            "sim/pipeline.py",
+        )

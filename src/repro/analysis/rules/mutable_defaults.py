@@ -1,0 +1,235 @@
+"""RPR003 — shared mutable defaults, beyond ruff's scope.
+
+The PR 3 bug class: ``TimingParams()`` evaluated once as a default
+argument, so every engine invocation shared (and mutated) one instance
+— a correctness bug ruff's ``B006``/``B008`` family does not catch
+because ``TimingParams`` is a project class, not a known mutable
+builtin.
+
+This rule resolves project classes across the whole file set first:
+classes decorated ``@dataclass(frozen=True)`` and ``Enum`` subclasses
+are immutable, any other project-class constructor in a default is a
+shared mutable instance.  Checked sites:
+
+* function/method parameter defaults: mutable literals
+  (``[]``/``{}``/``{...}``/comprehensions), mutable builtin
+  constructors, and calls to non-frozen CamelCase constructors — the
+  deterministic fix is a ``None`` default resolved in the body;
+* ``@dataclass`` field defaults: any constructor call that is not
+  ``field(...)`` and not known-immutable must use
+  ``field(default_factory=...)``.
+
+Defaults that merely *rebind an existing object* (``cache=cache`` in
+the batch engine's hot closures) are Name nodes, not constructor
+calls, and are deliberately not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from ..core import (
+    Finding,
+    Project,
+    SourceFile,
+    call_name,
+    dataclass_frozen,
+    is_dataclass_def,
+    register,
+)
+
+_MUTABLE_BUILTIN_CALLS = frozenset(
+    {
+        "list",
+        "dict",
+        "set",
+        "bytearray",
+        "collections.defaultdict",
+        "defaultdict",
+        "collections.OrderedDict",
+        "OrderedDict",
+        "collections.Counter",
+        "Counter",
+        "collections.deque",
+        "deque",
+        "array.array",
+    }
+)
+
+_IMMUTABLE_BUILTIN_CALLS = frozenset(
+    {
+        "frozenset",
+        "tuple",
+        "int",
+        "float",
+        "str",
+        "bool",
+        "bytes",
+        "complex",
+        "range",
+        "object",
+        "Fraction",
+        "Decimal",
+        "timedelta",
+        "datetime.timedelta",
+        "Path",
+        "pathlib.Path",
+    }
+)
+
+_ENUM_BASES = frozenset(
+    {"Enum", "IntEnum", "StrEnum", "Flag", "IntFlag", "enum.Enum",
+     "enum.IntEnum", "enum.StrEnum", "enum.Flag", "enum.IntFlag"}
+)
+
+
+def _immutable_project_classes(project: Project) -> Set[str]:
+    """Names of project classes whose instances are immutable: frozen
+    dataclasses and Enum subclasses (including subclasses of those)."""
+    frozen: Set[str] = set()
+    bases: dict = {}
+    for src in project.sources():
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            base_names = []
+            for base in node.bases:
+                name = None
+                if isinstance(base, ast.Name):
+                    name = base.id
+                elif isinstance(base, ast.Attribute):
+                    name = base.attr
+                if name:
+                    base_names.append(name)
+            bases[node.name] = base_names
+            if dataclass_frozen(node) or any(
+                b in _ENUM_BASES for b in base_names
+            ):
+                frozen.add(node.name)
+    # Propagate through single-level inheritance chains until fixpoint
+    # (an Enum subclass of a project Enum is still immutable).
+    changed = True
+    while changed:
+        changed = False
+        for name, base_names in bases.items():
+            if name not in frozen and any(b in frozen for b in base_names):
+                frozen.add(name)
+                changed = True
+    return frozen
+
+
+def _mutable_default(
+    node: ast.AST, immutable: Set[str]
+) -> Optional[str]:
+    """A human description if ``node`` is a shared-mutable default."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return "mutable literal"
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return "mutable comprehension"
+    if isinstance(node, ast.Call):
+        name = call_name(node)
+        if name is None:
+            return None
+        if name in _MUTABLE_BUILTIN_CALLS:
+            return f"{name}() call"
+        short = name.split(".")[-1]
+        if name in _IMMUTABLE_BUILTIN_CALLS or short in immutable:
+            return None
+        if short[:1].isupper() and not short.isupper():
+            # CamelCase constructor of a class not known to be frozen:
+            # the TimingParams() bug shape.
+            return f"{name}() instance"
+    return None
+
+
+def _function_findings(
+    src: SourceFile,
+    func: ast.AST,
+    immutable: Set[str],
+) -> Iterator[Finding]:
+    args = func.args
+    defaults: List[Tuple[ast.arg, ast.AST]] = []
+    positional = args.posonlyargs + args.args
+    for arg, default in zip(positional[-len(args.defaults):], args.defaults):
+        defaults.append((arg, default))
+    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults.append((arg, default))
+    for arg, default in defaults:
+        reason = _mutable_default(default, immutable)
+        if reason is not None:
+            yield Finding(
+                code="RPR003",
+                path=src.path,
+                rel=src.rel,
+                line=default.lineno,
+                col=default.col_offset,
+                message=(
+                    f"default for parameter {arg.arg!r} of "
+                    f"{func.name}() is a {reason}, evaluated once and "
+                    "shared across calls (the PR 3 TimingParams bug); "
+                    "default to None and construct in the body"
+                ),
+            )
+
+
+def _dataclass_findings(
+    src: SourceFile, cls: ast.ClassDef, immutable: Set[str]
+) -> Iterator[Finding]:
+    for node in cls.body:
+        value = None
+        target_name = None
+        if isinstance(node, ast.AnnAssign) and node.value is not None:
+            annotation = node.annotation
+            ann = annotation.value if isinstance(
+                annotation, ast.Subscript
+            ) else annotation
+            ann_name = (
+                ann.id if isinstance(ann, ast.Name)
+                else ann.attr if isinstance(ann, ast.Attribute) else None
+            )
+            if ann_name == "ClassVar":
+                continue
+            if isinstance(node.target, ast.Name):
+                value = node.value
+                target_name = node.target.id
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            if isinstance(node.targets[0], ast.Name):
+                value = node.value
+                target_name = node.targets[0].id
+        if value is None or target_name is None:
+            continue
+        if isinstance(value, ast.Call) and call_name(value) in (
+            "field",
+            "dataclasses.field",
+        ):
+            continue
+        reason = _mutable_default(value, immutable)
+        if reason is not None:
+            yield Finding(
+                code="RPR003",
+                path=src.path,
+                rel=src.rel,
+                line=value.lineno,
+                col=value.col_offset,
+                message=(
+                    f"dataclass field {target_name!r} of {cls.name} "
+                    f"defaults to a {reason}, shared by every instance; "
+                    "use field(default_factory=...)"
+                ),
+            )
+
+
+@register("RPR003", "mutable-defaults")
+def check_mutable_defaults(project: Project) -> Iterator[Finding]:
+    """Function parameters and dataclass fields defaulting to shared
+    mutable instances, including project-class constructors ruff cannot
+    know about (PR 3 bug class)."""
+    immutable = _immutable_project_classes(project)
+    for src in project.sources():
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from _function_findings(src, node, immutable)
+            elif isinstance(node, ast.ClassDef) and is_dataclass_def(node):
+                yield from _dataclass_findings(src, node, immutable)

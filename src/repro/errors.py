@@ -19,10 +19,14 @@ the round trip via :func:`_restore_error`.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Tuple, Type
 
 
-def _restore_error(cls, args, state):
+def _restore_error(
+    cls: Type["SimulationError"],
+    args: Tuple[Any, ...],
+    state: Dict[str, Any],
+) -> "SimulationError":
     """Rebuild an exception without re-running its ``__init__``.
 
     Subclasses take domain arguments (a chiplet id, a fingerprint), not
@@ -49,7 +53,9 @@ class SimulationError(Exception):
         super().__init__(message)
         self.context: Dict[str, Any] = dict(context or {})
 
-    def __reduce__(self):
+    def __reduce__(
+        self,
+    ) -> Tuple[Any, Tuple[Any, ...]]:
         return (_restore_error, (type(self), self.args, self.__dict__.copy()))
 
     def describe(self) -> str:

@@ -118,8 +118,8 @@ def validate_policy(policy: Any) -> PolicyCapabilities:
     whole contract in one round trip instead of one ``AttributeError``
     per run.
     """
-    missing_hooks = []
-    bad_flags = {}
+    missing_hooks: List[str] = []
+    bad_flags: Dict[str, str] = {}
     for hook in REQUIRED_HOOKS:
         candidate = getattr(policy, hook, None)
         if not callable(candidate):

@@ -194,7 +194,9 @@ class FaultStage:
                 return record
             allocation = allocations[int(alloc_ids[i])]
             fault_buffers[requester].log(vaddr, requester)
-            start = perf_counter() if telem is not None else 0.0
+            # Wall time feeds only the telemetry snapshot (stripped
+            # before cache writes), never a result counter.
+            start = perf_counter() if telem is not None else 0.0  # repro-lint: ignore[RPR001]
             try:
                 place(vaddr, requester, allocation)
             except MemoryExhaustedError as exc:
@@ -232,7 +234,7 @@ class FaultStage:
                     requester,
                     vaddr,
                     allocation.alloc_id,
-                    (perf_counter() - start) * 1e6,
+                    (perf_counter() - start) * 1e6,  # repro-lint: ignore[RPR001]
                 )
             return record
 

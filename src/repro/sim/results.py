@@ -3,9 +3,55 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
-from typing import Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple
 
 from ..units import size_label
+
+if TYPE_CHECKING:
+    from .energy import EnergyBreakdown
+
+#: The cache-payload partition of :class:`SimResult`'s fields.  Every
+#: dataclass field must appear in exactly one of the three tuples —
+#: repro-lint rule RPR002 enforces the partition statically, so adding
+#: a field forces an explicit decision about the result-cache schema
+#: (and a ``CACHE_SCHEMA_VERSION`` bump in ``sim/parallel.py`` when the
+#: payload changes).
+#:
+#: Fields serialized as-is by :meth:`SimResult.to_dict` (JSON-native
+#: values that round-trip exactly).
+CACHE_PAYLOAD_FIELDS: Tuple[str, ...] = (
+    "workload",
+    "policy",
+    "cycles",
+    "n_accesses",
+    "n_warp_instructions",
+    "remote_accesses",
+    "translation_cycles",
+    "data_cycles",
+    "l2_misses",
+    "l2_tlb_misses",
+    "page_faults",
+    "migrations",
+    "blocks_consumed",
+    "host_refaults",
+    "faults_dropped",
+    "remote_cache_coverage",
+    "telemetry",
+)
+
+#: Fields needing explicit conversion code in ``to_dict``/``from_dict``
+#: (nested dataclasses / tuple values that JSON would mangle).
+CACHE_CUSTOM_FIELDS: Tuple[str, ...] = (
+    "energy",
+    "selections",
+    "per_structure_remote",
+)
+
+#: Fields that never enter the cache payload.  They describe *how* a
+#: run was computed, not what it computed, and must therefore carry
+#: ``field(compare=False)`` so cached, staged and batched results of
+#: the same cell stay equal (the ``fast_path_fraction`` precedent).
+CACHE_EXCLUDED_FIELDS: Tuple[str, ...] = ("fast_path_fraction",)
 
 
 @dataclass(frozen=True)
@@ -47,7 +93,7 @@ class SimResult:
     #: page faults lost to full GMMU fault buffers (overflow observability)
     faults_dropped: int = 0
     #: per-component energy (picojoules); see repro.sim.energy
-    energy: Optional[object] = None
+    energy: Optional["EnergyBreakdown"] = None
     selections: Dict[str, SelectionInfo] = field(default_factory=dict)
     per_structure_remote: Dict[str, Tuple[int, int]] = field(
         default_factory=dict
@@ -114,24 +160,19 @@ class SimResult:
 
     # --- serialization (the result-cache storage format) ---
 
-    def to_dict(self) -> Dict[str, object]:
-        """A JSON-compatible dict covering every field.
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible dict covering every cache-payload field.
 
         The inverse of :meth:`from_dict`: round-tripping through JSON
         reproduces an equal ``SimResult`` (floats survive JSON exactly
         in Python), which is what lets the on-disk result cache stand in
-        for a live simulation.
+        for a live simulation.  The field set is declared in
+        ``CACHE_PAYLOAD_FIELDS``/``CACHE_CUSTOM_FIELDS``/
+        ``CACHE_EXCLUDED_FIELDS`` above; lint rule RPR002 keeps the
+        declaration and this implementation in sync.
         """
-        data: Dict[str, object] = {
-            f.name: getattr(self, f.name)
-            for f in fields(self)
-            if f.name
-            not in (
-                "energy",
-                "selections",
-                "per_structure_remote",
-                "fast_path_fraction",
-            )
+        data: Dict[str, Any] = {
+            name: getattr(self, name) for name in CACHE_PAYLOAD_FIELDS
         }
         energy = self.energy
         data["energy"] = (
@@ -156,7 +197,7 @@ class SimResult:
         return data
 
     @classmethod
-    def from_dict(cls, data: Dict[str, object]) -> "SimResult":
+    def from_dict(cls, data: Dict[str, Any]) -> "SimResult":
         """Rebuild a ``SimResult`` from :meth:`to_dict` output."""
         from .energy import EnergyBreakdown
 
@@ -164,7 +205,7 @@ class SimResult:
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown SimResult fields: {sorted(unknown)}")
-        kwargs = dict(data)
+        kwargs: Dict[str, Any] = dict(data)
         energy = kwargs.get("energy")
         if energy is not None:
             kwargs["energy"] = EnergyBreakdown(**energy)

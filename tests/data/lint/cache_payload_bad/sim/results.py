@@ -1,0 +1,35 @@
+# ruff: noqa
+"""Bad fixture: one cache-payload violation of every RPR002 shape.
+
+* ``new_metric`` is a dataclass field declared in none of the three
+  partition tuples;
+* ``stale`` is declared in CACHE_PAYLOAD_FIELDS but is not a field;
+* ``wall_seconds`` is cache-excluded but lacks field(compare=False);
+* ``selections`` is a custom field with no data["selections"] = ...
+  conversion in to_dict;
+* to_dict assigns data["extra"] without declaring it custom.
+"""
+
+from dataclasses import dataclass, field
+
+CACHE_PAYLOAD_FIELDS = ("workload", "cycles", "stale")
+CACHE_CUSTOM_FIELDS = ("selections",)
+CACHE_EXCLUDED_FIELDS = ("wall_seconds",)
+
+
+@dataclass
+class SimResult:
+    workload: str
+    cycles: float
+    new_metric: int = 0
+    selections: dict = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    def to_dict(self):
+        data = {name: getattr(self, name) for name in CACHE_PAYLOAD_FIELDS}
+        data["extra"] = 1
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)

@@ -1,0 +1,25 @@
+# ruff: noqa
+"""Good fixture: a SimResult whose cache-payload partition is complete."""
+
+from dataclasses import dataclass, field
+
+CACHE_PAYLOAD_FIELDS = ("workload", "cycles")
+CACHE_CUSTOM_FIELDS = ("selections",)
+CACHE_EXCLUDED_FIELDS = ("wall_seconds",)
+
+
+@dataclass
+class SimResult:
+    workload: str
+    cycles: float
+    selections: dict = field(default_factory=dict)
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    def to_dict(self):
+        data = {name: getattr(self, name) for name in CACHE_PAYLOAD_FIELDS}
+        data["selections"] = dict(self.selections)
+        return data
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(**data)

@@ -1,0 +1,25 @@
+# ruff: noqa
+"""Bad fixture: every determinism violation RPR001 knows about."""
+
+import random
+import numpy as np
+from time import perf_counter
+
+
+def owner_for(page, n_chiplets):
+    return hash(page) % n_chiplets  # salted per process
+
+
+def pick(candidates):
+    random.seed(0)
+    return random.choice(candidates)
+
+
+def jitter():
+    rng = random.Random()
+    return rng.random() + np.random.uniform()
+
+
+def run_epoch(state):
+    start = perf_counter()  # wall clock in an engine hot path
+    return start

@@ -1,0 +1,20 @@
+# ruff: noqa
+"""Good fixture: the deterministic counterparts of every RPR001 shape."""
+
+import random
+import zlib
+import numpy as np
+
+
+def owner_for(page, n_chiplets):
+    return zlib.crc32(page.to_bytes(8, "little")) % n_chiplets
+
+
+def pick(candidates, seed):
+    rng = random.Random(seed)
+    return rng.choice(candidates)
+
+
+def jitter(seed):
+    rng = np.random.default_rng(seed)
+    return rng.uniform()

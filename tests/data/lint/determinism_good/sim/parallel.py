@@ -1,0 +1,12 @@
+# ruff: noqa
+"""Wall-clock reads here are operational stats, not simulation input —
+sim/parallel.py is on the RPR001 allowlist (and is not a hot-path file),
+so this must produce no findings."""
+
+from time import perf_counter
+
+
+def timed(fn):
+    start = perf_counter()
+    result = fn()
+    return result, perf_counter() - start

@@ -1,0 +1,19 @@
+# ruff: noqa
+"""Bad fixture's staged reference: identical to the good fixture, so
+every divergence lives in batch.py where a real drift would."""
+
+
+class DataStage:
+    def process(self, ctx):
+        if self.l1_caches.lookup(ctx.addr):
+            return self.l1_latency
+        if self.remote_caches.lookup(ctx.addr):
+            return self.l2_latency
+        cost = self.l2_latency + self.ring.hops(ctx.src, ctx.dst)
+        self.ring.record_transfer(ctx.src, ctx.dst, 32)
+        self.dram.access(ctx.addr)
+        return cost
+
+
+def close_epoch(policy, stats, ratio):
+    policy.on_epoch(0, stats, ratio)

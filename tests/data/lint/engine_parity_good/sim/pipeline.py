@@ -1,0 +1,20 @@
+# ruff: noqa
+"""Good fixture: a miniature staged data stage.  Memory-path order is
+L1 -> REMOTE_CACHE -> L2 -> RING -> DRAM, ring payload 32 bytes, and
+policy.on_epoch fires only through close_epoch."""
+
+
+class DataStage:
+    def process(self, ctx):
+        if self.l1_caches.lookup(ctx.addr):
+            return self.l1_latency
+        if self.remote_caches.lookup(ctx.addr):
+            return self.l2_latency
+        cost = self.l2_latency + self.ring.hops(ctx.src, ctx.dst)
+        self.ring.record_transfer(ctx.src, ctx.dst, 32)
+        self.dram.access(ctx.addr)
+        return cost
+
+
+def close_epoch(policy, stats, ratio):
+    policy.on_epoch(0, stats, ratio)

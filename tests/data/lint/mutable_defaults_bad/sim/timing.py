@@ -1,0 +1,29 @@
+# ruff: noqa
+"""Bad fixture: every shared-mutable-default shape RPR003 flags,
+including the PR 3 bug — a non-frozen project-class instance evaluated
+once as a parameter default."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TimingParams:  # NOT frozen: instances are mutable
+    l1_latency: int = 4
+
+
+def run(workload, timing=TimingParams()):
+    return workload, timing
+
+
+def collect(acc=[], index={}, *, seen=set()):
+    return acc, index, seen
+
+
+def tally(counts=dict(), order=list()):
+    return counts, order
+
+
+@dataclass
+class Config:
+    overrides: dict = {}
+    timing: TimingParams = TimingParams()

@@ -1,0 +1,38 @@
+# ruff: noqa
+"""Good fixture: defaults RPR003 must accept — None resolved in the
+body, frozen-dataclass instances (immutable, safe to share), Enum
+members, field(default_factory=...), and plain rebinding of an
+existing object."""
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+@dataclass(frozen=True)
+class TimingParams:
+    l1_latency: int = 4
+
+
+class Mode(Enum):
+    FAST = 1
+
+
+def run(workload, timing=None, mode=Mode.FAST):
+    timing = TimingParams() if timing is None else timing
+    return workload, timing, mode
+
+
+def share(timing=TimingParams(), limit=int(8), tag=str("x")):
+    # A frozen instance shared across calls cannot be mutated: fine.
+    return timing, limit, tag
+
+
+@dataclass
+class Config:
+    timing: TimingParams = TimingParams()
+    overrides: dict = field(default_factory=dict)
+
+
+def rebind(cache, lookup=len):
+    # Name-node defaults rebind existing objects; not constructor calls.
+    return lookup(cache)

@@ -1,0 +1,11 @@
+# ruff: noqa
+
+
+class BrokenPolicy:
+    """Standalone *Policy class in policies/ missing most of the
+    contract: no name, no num_epochs, no place/on_epoch hooks."""
+
+    coalescing = True
+
+    def attach(self, machine, workload):
+        pass

@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Bad fixture contract: identical to the good one — the violation is
+in broken.py."""
+
+CAPABILITY_FLAGS = (
+    ("coalescing", bool),
+    ("num_epochs", int),
+)
+
+REQUIRED_HOOKS = (
+    "attach",
+    "place",
+    "on_epoch",
+)

@@ -1,0 +1,16 @@
+# ruff: noqa
+
+
+class PlacementPolicy:
+    name = "base"
+    coalescing = False
+    num_epochs = 1
+
+    def attach(self, machine, workload):
+        raise NotImplementedError
+
+    def place(self, vaddr, requester, allocation):
+        raise NotImplementedError
+
+    def on_epoch(self, epoch, page_stats, ratio):
+        pass

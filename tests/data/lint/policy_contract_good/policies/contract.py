@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Good fixture contract: abbreviated flags/hooks single source of
+truth, mirroring repro.policies.contract."""
+
+CAPABILITY_FLAGS = (
+    ("coalescing", bool),
+    ("num_epochs", int),
+)
+
+REQUIRED_HOOKS = (
+    "attach",
+    "place",
+    "on_epoch",
+)

@@ -1,0 +1,13 @@
+# ruff: noqa
+from .base import PlacementPolicy
+
+
+class StaticPolicy(PlacementPolicy):
+    """Inherits the whole contract surface; RPR005 resolves it through
+    the project class graph and reports nothing."""
+
+    def __init__(self):
+        self.name = "static"
+
+    def place(self, vaddr, requester, allocation):
+        return None

@@ -1,0 +1,11 @@
+# ruff: noqa
+"""Fixture: an RPR001 violation silenced by an inline suppression and
+a second one silenced by a bare ignore; neither may be reported."""
+
+
+def owner_for(page):
+    return hash(page) % 4  # repro-lint: ignore[RPR001]
+
+
+def fingerprint(obj):
+    return hash(obj)  # repro-lint: ignore

@@ -1,0 +1,430 @@
+"""repro-lint: rule goldens, suppression, baseline, CLI, live tree.
+
+Each rule has a *bad* fixture (a miniature project triggering every
+shape the rule knows) and a *good* fixture (the deterministic
+counterparts) under ``tests/data/lint/``; the golden assertions pin the
+rule codes and the load-bearing message fragments.  The live-tree test
+is the actual gate: the installed package must lint clean modulo the
+committed baseline.  The reintroduction tests replay the historical
+bugs the rules exist for (PR 1 ``hash()``, PR 3 shared
+``TimingParams()`` default, an unregistered ``SimResult`` field) and
+require the lint to fail.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    Project,
+    all_rules,
+    apply_baseline,
+    default_scan_root,
+    load_baseline,
+    run_lint,
+    write_baseline,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "data" / "lint"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+
+def lint_fixture(name, select=None):
+    return run_lint(Project(root=FIXTURES / name), select=select)
+
+
+def codes(findings):
+    return sorted({f.code for f in findings})
+
+
+def messages(findings):
+    return "\n".join(f.message for f in findings)
+
+
+# ---------------------------------------------------------------- registry
+
+
+def test_all_five_rules_registered():
+    rules = all_rules()
+    assert sorted(rules) == [
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+    ]
+    for rule in rules.values():
+        assert rule.doc, f"{rule.code} has no docstring description"
+
+
+def test_unknown_rule_code_rejected():
+    with pytest.raises(ValueError, match="RPR999"):
+        lint_fixture("determinism_good", select=["RPR999"])
+
+
+# ------------------------------------------------------- RPR001 determinism
+
+
+def test_determinism_bad_fixture_fires():
+    findings = lint_fixture("determinism_bad", select=["RPR001"])
+    assert codes(findings) == ["RPR001"]
+    text = messages(findings)
+    assert "builtin hash()" in text
+    assert "process-global RNG" in text
+    assert "without a seed" in text
+    assert "NumPy's global RNG" in text
+    assert "wall-clock call" in text
+    # hash, random.seed, random.choice, Random(), np.random.uniform,
+    # rng.random is a *seeded instance* (not flagged), perf_counter.
+    assert len(findings) == 6
+
+
+def test_determinism_good_fixture_clean():
+    assert lint_fixture("determinism_good", select=["RPR001"]) == []
+
+
+def test_wallclock_only_flagged_in_hot_paths():
+    findings = lint_fixture("determinism_bad", select=["RPR001"])
+    wallclock = [f for f in findings if "wall-clock" in f.message]
+    assert [f.rel for f in wallclock] == ["sim/engine.py"]
+
+
+# ---------------------------------------------------- RPR002 cache payload
+
+
+def test_cache_payload_bad_fixture_fires():
+    findings = lint_fixture("cache_payload_bad", select=["RPR002"])
+    assert codes(findings) == ["RPR002"]
+    text = messages(findings)
+    assert "'new_metric' is in none of" in text
+    assert "'stale'" in text and "stale declaration" in text
+    assert "'wall_seconds' must be declared with field(compare=False)" in text
+    assert "'selections' has no explicit" in text
+    assert "data['extra']" in text
+    assert len(findings) == 5
+
+
+def test_cache_payload_good_fixture_clean():
+    assert lint_fixture("cache_payload_good", select=["RPR002"]) == []
+
+
+# ------------------------------------------------- RPR003 mutable defaults
+
+
+def test_mutable_defaults_bad_fixture_fires():
+    findings = lint_fixture("mutable_defaults_bad", select=["RPR003"])
+    assert codes(findings) == ["RPR003"]
+    text = messages(findings)
+    assert "TimingParams() instance" in text  # the PR 3 bug shape
+    assert "mutable literal" in text
+    assert "dict() call" in text and "list() call" in text
+    assert "field(default_factory=...)" in text
+    # run, collect (3 params), tally (2 params), Config (2 fields)
+    assert len(findings) == 8
+
+
+def test_mutable_defaults_good_fixture_clean():
+    # Frozen-dataclass / Enum defaults are immutable and must pass.
+    assert lint_fixture("mutable_defaults_good", select=["RPR003"]) == []
+
+
+# --------------------------------------------------- RPR004 engine parity
+
+
+def test_engine_parity_bad_fixture_fires():
+    findings = lint_fixture("engine_parity_bad", select=["RPR004"])
+    assert codes(findings) == ["RPR004"]
+    text = messages(findings)
+    assert "memory-path order of scalar_one()" in text
+    assert "the engines have drifted" in text
+    assert "ring transfer payload drifted" in text
+    assert "small_window() does not route translation" in text
+    assert "policy.on_epoch called outside close_epoch()" in text
+    assert "never calls close_epoch()" in text
+    assert len(findings) == 5
+
+
+def test_engine_parity_bad_names_both_orders():
+    findings = lint_fixture("engine_parity_bad", select=["RPR004"])
+    drift = next(f for f in findings if "drifted (DESIGN" in f.message)
+    assert "L1 -> REMOTE_CACHE -> L2 -> DRAM -> RING" in drift.message
+    assert "L1 -> REMOTE_CACHE -> L2 -> RING -> DRAM" in drift.message
+
+
+def test_engine_parity_good_fixture_clean():
+    assert lint_fixture("engine_parity_good", select=["RPR004"]) == []
+
+
+# -------------------------------------------------- RPR005 policy contract
+
+
+def test_policy_contract_bad_fixture_fires():
+    findings = lint_fixture("policy_contract_bad", select=["RPR005"])
+    assert codes(findings) == ["RPR005"]
+    text = messages(findings)
+    assert "BrokenPolicy is missing capability declaration(s)" in text
+    assert "name" in text and "num_epochs" in text
+    assert "missing hook(s) place, on_epoch" in text
+    assert len(findings) == 2
+
+
+def test_policy_contract_good_fixture_clean():
+    # StaticPolicy satisfies the contract through inheritance.
+    assert lint_fixture("policy_contract_good", select=["RPR005"]) == []
+
+
+# ------------------------------------------------- suppression and walking
+
+
+def test_inline_suppressions_silence_findings():
+    assert lint_fixture("suppressed", select=["RPR001"]) == []
+
+
+def test_pycache_and_artifacts_not_scanned(tmp_path):
+    pkg = tmp_path / "sim"
+    pkg.mkdir()
+    (pkg / "ok.py").write_text("x = 1\n")
+    cache = pkg / "__pycache__"
+    cache.mkdir()
+    (cache / "stale.py").write_text("y = hash(object())\n")
+    (pkg / "ok.pyc").write_bytes(b"\x00not python")
+    assert run_lint(Project(root=tmp_path), select=["RPR001"]) == []
+
+
+# ----------------------------------------------------------------- baseline
+
+
+def test_baseline_round_trip_and_one_shot_absorption(tmp_path):
+    findings = lint_fixture("determinism_bad", select=["RPR001"])
+    assert findings
+    path = tmp_path / "lint-baseline.json"
+    write_baseline(findings, path)
+
+    baseline = load_baseline(path)
+    new, old = apply_baseline(findings, baseline)
+    assert new == [] and len(old) == len(findings)
+
+    # A *second* instance of a grandfathered finding is not absorbed:
+    # each baseline entry covers exactly one occurrence.
+    duplicated = findings + [findings[0]]
+    new, old = apply_baseline(duplicated, baseline)
+    assert len(new) == 1 and new[0].fingerprint() == findings[0].fingerprint()
+
+
+def test_baseline_is_line_number_independent(tmp_path):
+    finding = lint_fixture("determinism_bad", select=["RPR001"])[0]
+    path = tmp_path / "lint-baseline.json"
+    write_baseline([finding], path)
+    moved = Finding(
+        code=finding.code,
+        path=finding.path,
+        rel=finding.rel,
+        line=finding.line + 40,
+        col=0,
+        message=finding.message,
+    )
+    new, old = apply_baseline([moved], load_baseline(path))
+    assert new == [] and old == [moved]
+
+
+def test_baseline_version_mismatch_rejected(tmp_path):
+    path = tmp_path / "lint-baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="baseline version"):
+        load_baseline(path)
+
+
+# --------------------------------------------------------------------- CLI
+
+
+def run_cli(*args, cwd=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", "lint", *args],
+        capture_output=True,
+        text=True,
+        cwd=cwd or str(REPO_ROOT),
+        env=env,
+    )
+
+
+def test_cli_exit_zero_and_clean_on_good_fixture():
+    proc = run_cli(str(FIXTURES / "determinism_good"))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "repro-lint: clean" in proc.stdout
+
+
+def test_cli_exit_nonzero_with_text_findings_on_bad_fixture():
+    proc = run_cli(str(FIXTURES / "determinism_bad"), "--select", "RPR001")
+    assert proc.returncode == 1
+    assert "RPR001" in proc.stdout
+    assert "builtin hash()" in proc.stdout
+
+
+def test_cli_json_output_is_machine_readable():
+    proc = run_cli(
+        str(FIXTURES / "determinism_bad"), "--select", "RPR001",
+        "--output", "json",
+    )
+    assert proc.returncode == 1
+    payload = json.loads(proc.stdout)
+    assert payload["new"] == len(payload["findings"]) > 0
+    assert payload["baselined"] == 0
+    first = payload["findings"][0]
+    assert first["code"] == "RPR001"
+    assert {"path", "project_path", "line", "col", "message"} <= set(first)
+
+
+def test_cli_github_output_emits_error_annotations():
+    proc = run_cli(
+        str(FIXTURES / "determinism_bad"), "--select", "RPR001",
+        "--output", "github",
+    )
+    assert proc.returncode == 1
+    assert "::error file=" in proc.stdout
+    assert "title=repro-lint RPR001" in proc.stdout
+
+
+def test_cli_write_baseline_then_grandfathered_run(tmp_path):
+    target = str(FIXTURES / "determinism_bad")
+    proc = run_cli(target, "--select", "RPR001", "--write-baseline",
+                   cwd=tmp_path)
+    assert proc.returncode == 0
+    assert (tmp_path / "lint-baseline.json").exists()
+
+    proc = run_cli(target, "--select", "RPR001", cwd=tmp_path)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "[baselined]" in proc.stdout
+    assert "0 finding(s)" in proc.stdout
+
+    # ``github`` output downgrades grandfathered findings to notices.
+    proc = run_cli(target, "--select", "RPR001", "--output", "github",
+                   cwd=tmp_path)
+    assert proc.returncode == 0
+    assert "::notice file=" in proc.stdout
+    assert "::error" not in proc.stdout
+
+
+def test_cli_missing_path_exits_two():
+    proc = run_cli("does/not/exist")
+    assert proc.returncode == 2
+    assert "no such path" in proc.stderr
+
+
+def test_cli_list_rules():
+    proc = run_cli("--list-rules")
+    assert proc.returncode == 0
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert code in proc.stdout
+
+
+# ---------------------------------------------------------------- live tree
+
+
+def test_live_tree_has_no_non_baselined_findings():
+    """The gate CI enforces: the installed package lints clean modulo
+    the committed baseline (none is currently needed)."""
+    findings = run_lint(Project(root=default_scan_root()))
+    baseline_file = REPO_ROOT / "lint-baseline.json"
+    if baseline_file.exists():
+        new, _ = apply_baseline(findings, load_baseline(baseline_file))
+    else:
+        new = findings
+    assert new == [], "\n".join(f.format() for f in new)
+
+
+# ------------------------------------------------- bug reintroduction gates
+
+
+@pytest.fixture()
+def mutable_tree(tmp_path):
+    """A throwaway copy of the live package, safe to break."""
+    root = tmp_path / "repro"
+    shutil.copytree(
+        SRC_DIR / "repro",
+        root,
+        ignore=shutil.ignore_patterns("__pycache__"),
+    )
+    return root
+
+
+def reintroduce(path, old, new):
+    text = path.read_text()
+    assert old in text, f"mutation anchor not found in {path.name}: {old!r}"
+    path.write_text(text.replace(old, new, 1))
+
+
+def test_reintroducing_pr1_hash_bug_fails_lint(mutable_tree):
+    engine = mutable_tree / "sim" / "engine.py"
+    engine.write_text(
+        engine.read_text()
+        + "\n\ndef _owner_for(page, n):\n    return hash(page) % n\n"
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR001"])
+    assert any("builtin hash()" in f.message for f in findings)
+
+
+def test_reintroducing_pr3_timing_default_bug_fails_lint(mutable_tree):
+    # The historical shape: TimingParams was mutable and one instance
+    # was shared as a parameter default across every engine invocation.
+    reintroduce(
+        mutable_tree / "sim" / "timing.py",
+        "@dataclass(frozen=True)\nclass TimingParams:",
+        "@dataclass\nclass TimingParams:",
+    )
+    reintroduce(
+        mutable_tree / "sim" / "runner.py",
+        "timing: Optional[TimingParams] = None,",
+        "timing: Optional[TimingParams] = TimingParams(),",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR003"])
+    assert any(
+        "TimingParams() instance" in f.message and f.rel == "sim/runner.py"
+        for f in findings
+    )
+
+
+def test_unregistered_simresult_field_fails_lint(mutable_tree):
+    reintroduce(
+        mutable_tree / "sim" / "results.py",
+        "    faults_dropped: int = 0",
+        "    faults_dropped: int = 0\n    new_metric: int = 0",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR002"])
+    assert any(
+        "'new_metric' is in none of" in f.message for f in findings
+    )
+
+
+def test_engine_drift_in_live_batch_fails_lint(mutable_tree):
+    reintroduce(
+        mutable_tree / "sim" / "batch.py",
+        "_TRANSFER_BYTES = 160",
+        "_TRANSFER_BYTES = 128",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR004"])
+    assert any(
+        "ring transfer payload drifted" in f.message for f in findings
+    )
+
+
+# ------------------------------------------------------------------- mypy
+
+
+def test_mypy_strict_modules_pass():
+    pytest.importorskip("mypy")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"],
+        capture_output=True,
+        text=True,
+        cwd=str(REPO_ROOT),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
