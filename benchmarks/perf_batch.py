@@ -1,26 +1,39 @@
 #!/usr/bin/env python
-"""Benchmark: staged vs batched replay, per quick-sweep cell.
+"""Benchmark: staged vs batched vs fused replay, plus the fault-heavy sweep.
 
-Prints a per-cell table of staged/batched wall time (best of
-``--repeats``), the speedup, and the batched engine's
-``fast_path_fraction`` (share of the trace replayed through vectorized
-steady-state windows).  Both engines are bit-identical in results —
-asserted here on every measured cell — so the table is purely a wall
-time comparison.
+Prints a per-cell table of staged/batched/fused wall time (best of
+``--repeats``), the speedups over staged, and the batched engine's
+``fast_path_fraction`` / ``fault_batch_fraction`` (share of the trace
+replayed through vectorized steady-state windows, and share of page
+faults resolved by the batched fault path).  All engines are
+bit-identical in results — asserted here on every measured cell — so
+the table is purely a wall time comparison.
+
+The second section measures what cross-cell fusion and the bulk fault
+path buy *together*: a fault-heavy quick sweep (first-touch-dominated
+trace, six batchable cells sharing one trace group) replayed the old
+way — serial per-cell batched engine with the vectorized fault path
+disabled (``REPRO_FAULT_BATCH=0``) — against one fused
+:func:`~repro.sim.xbatch.run_group` pass.  This is the acceptance
+measurement for the fused engine: the speedup is recorded in
+``BENCH_batch.json`` and must stay >= 2x.
 
 Usage::
 
     python benchmarks/perf_batch.py
     python benchmarks/perf_batch.py --repeats 7 --cells STE/S-64KB BLK/CLAP
+    python benchmarks/perf_batch.py --json BENCH_batch.json
 
 Unlike ``scripts/perf_smoke.py`` (the CI budget gate), this script has
-no baseline and never fails on timing: it is the measurement tool the
-README's performance table is produced with.
+no baseline and never fails on timing; ``--min-sweep-speedup`` turns
+the sweep measurement into a gate for CI.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -28,7 +41,17 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 
+from repro.arch.address import InterleavePolicy  # noqa: E402
+from repro.sim.engine import run_simulation  # noqa: E402
+from repro.sim.parallel import SweepCell  # noqa: E402
 from repro.sim.runner import run_workload  # noqa: E402
+from repro.sim.xbatch import run_group, trace_group_key  # noqa: E402
+from repro.trace.workload import (  # noqa: E402
+    Pattern,
+    StructureSpec,
+    WorkloadSpec,
+)
+from repro.units import MB  # noqa: E402
 
 #: Default cells: the perf-smoke quick sweep plus one cell per remaining
 #: policy family, so every replay shape shows up in the table.
@@ -41,14 +64,177 @@ DEFAULT_CELLS = [
     "GPT3/MGvm",
 ]
 
+#: Engines measured per cell, in column order.
+ENGINES = ("staged", "batched", "fused")
 
-def _best(workload: str, policy: str, engine: str, repeats: int) -> float:
+
+def _fault_heavy_spec() -> WorkloadSpec:
+    """First-touch-dominated workload for the sweep measurement.
+
+    One wave and few lines per touch keep the fault:access ratio high
+    (nearly every granule page is reached through the fault path), and
+    single-page groups defeat any accidental spatial batching — the
+    regime the vectorized fault path and cross-cell fusion target.
+    """
+    return WorkloadSpec(
+        abbr="FHVY",
+        title="fault-heavy quick sweep",
+        structures=(
+            StructureSpec(
+                "a", 96 * MB, 96 * MB, Pattern.PARTITIONED,
+                group_pages=1, waves=1, lines_per_touch=6,
+            ),
+            StructureSpec(
+                "b", 96 * MB, 96 * MB, Pattern.CONTIGUOUS,
+                group_pages=1, waves=1, lines_per_touch=6,
+            ),
+        ),
+        tb_count=64,
+        mem_fraction=0.9,
+    )
+
+
+def _fault_heavy_cells() -> list:
+    """Six batchable cells sharing one trace group: three fault-batching
+    policies under both interleave modes."""
+    spec = _fault_heavy_spec()
+    return [
+        SweepCell(spec, policy, interleave=interleave)
+        for policy in ("S-64KB", "Ideal", "MGvm")
+        for interleave in (
+            InterleavePolicy.NUMA_AWARE,
+            InterleavePolicy.NAIVE,
+        )
+    ]
+
+
+def _best(measure, repeats: int) -> float:
     best = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        run_workload(workload, policy, engine=engine)
+        measure()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _measure_cells(cells, repeats: int) -> dict:
+    print(
+        f"{'cell':24s} {'staged':>9s} {'batched':>9s} {'fused':>9s} "
+        f"{'batched':>8s} {'fused':>8s} {'fast-path':>10s} {'flt-batch':>10s}"
+    )
+    rows = []
+    totals = {engine: 0.0 for engine in ENGINES}
+    for workload, policy in cells:
+        results = {
+            engine: run_workload(workload, policy, engine=engine)
+            for engine in ENGINES
+        }
+        staged = results["staged"]
+        for engine in ("batched", "fused"):
+            assert results[engine].to_dict() == staged.to_dict(), (
+                f"{workload}/{policy}: {engine} diverged from staged"
+            )
+        times = {
+            engine: _best(
+                lambda engine=engine: run_workload(
+                    workload, policy, engine=engine
+                ),
+                repeats,
+            )
+            for engine in ENGINES
+        }
+        for engine in ENGINES:
+            totals[engine] += times[engine]
+        fused = results["fused"]
+        fbf = fused.fault_batch_fraction
+        row = {
+            "cell": f"{workload}/{policy}",
+            **{f"{engine}_ms": times[engine] * 1e3 for engine in ENGINES},
+            "batched_speedup": times["staged"] / times["batched"],
+            "fused_speedup": times["staged"] / times["fused"],
+            "fast_path_fraction": fused.fast_path_fraction,
+            "fault_batch_fraction": fbf,
+        }
+        rows.append(row)
+        print(
+            f"{row['cell']:24s} "
+            f"{row['staged_ms']:7.1f}ms {row['batched_ms']:7.1f}ms "
+            f"{row['fused_ms']:7.1f}ms "
+            f"{row['batched_speedup']:7.2f}x {row['fused_speedup']:7.2f}x "
+            f"{row['fast_path_fraction']:10.3f} "
+            + (f"{fbf:10.3f}" if fbf is not None else f"{'-':>10s}")
+        )
+    print(
+        f"{'total':24s} "
+        f"{totals['staged'] * 1e3:7.1f}ms {totals['batched'] * 1e3:7.1f}ms "
+        f"{totals['fused'] * 1e3:7.1f}ms "
+        f"{totals['staged'] / totals['batched']:7.2f}x "
+        f"{totals['staged'] / totals['fused']:7.2f}x"
+    )
+    return {
+        "cells": rows,
+        "totals": {
+            **{f"{engine}_ms": totals[engine] * 1e3 for engine in ENGINES},
+            "batched_speedup": totals["staged"] / totals["batched"],
+            "fused_speedup": totals["staged"] / totals["fused"],
+        },
+    }
+
+
+def _run_sweep_old() -> list:
+    """The pre-fusion baseline: serial per-cell batched replay with the
+    vectorized fault path disabled (every fault through scalar_one)."""
+    os.environ["REPRO_FAULT_BATCH"] = "0"
+    try:
+        return [
+            run_simulation(
+                cell.workload,
+                cell.policy,
+                cell.config,
+                interleave=cell.interleave,
+                seed=cell.seed,
+                engine="batched",
+            )
+            for cell in _fault_heavy_cells()
+        ]
+    finally:
+        del os.environ["REPRO_FAULT_BATCH"]
+
+
+def _measure_sweep(repeats: int) -> dict:
+    cells = _fault_heavy_cells()
+    keys = {trace_group_key(cell) for cell in cells}
+    assert len(keys) == 1, "fault-heavy cells must share one trace group"
+
+    old_results = _run_sweep_old()
+    fused_results = run_group(_fault_heavy_cells())
+    reference = [r.to_dict() for r in old_results]
+    assert [r.to_dict() for r in fused_results] == reference, (
+        "fused sweep diverged from the batched baseline"
+    )
+
+    t_old = _best(_run_sweep_old, repeats)
+    t_fused = _best(lambda: run_group(_fault_heavy_cells()), repeats)
+    fractions = [r.fault_batch_fraction for r in fused_results]
+    sweep = {
+        "workload": "FHVY",
+        "cells": [
+            f"{cell.workload.abbr}/{cell.policy.name}"
+            f"+{cell.interleave.name}"
+            for cell in cells
+        ],
+        "old_ms": t_old * 1e3,
+        "fused_ms": t_fused * 1e3,
+        "speedup": t_old / t_fused,
+        "fault_batch_fractions": fractions,
+    }
+    print()
+    print(
+        f"fault-heavy sweep ({len(cells)} cells): "
+        f"old {sweep['old_ms']:.0f}ms -> fused {sweep['fused_ms']:.0f}ms "
+        f"({sweep['speedup']:.2f}x, fault-batch fractions {fractions})"
+    )
+    return sweep
 
 
 def main(argv=None) -> int:
@@ -61,6 +247,18 @@ def main(argv=None) -> int:
         "--cells", nargs="+", default=DEFAULT_CELLS, metavar="WORKLOAD/POLICY",
         help=f"cells to measure (default: {' '.join(DEFAULT_CELLS)})",
     )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the measurements to PATH as JSON (BENCH_batch.json)",
+    )
+    parser.add_argument(
+        "--skip-cells", action="store_true",
+        help="skip the per-cell table; measure only the fault-heavy sweep",
+    )
+    parser.add_argument(
+        "--min-sweep-speedup", type=float, default=None, metavar="X",
+        help="exit nonzero unless the fault-heavy sweep speedup >= X",
+    )
     args = parser.parse_args(argv)
 
     cells = []
@@ -70,32 +268,24 @@ def main(argv=None) -> int:
             parser.error(f"cell {text!r} is not WORKLOAD/POLICY")
         cells.append((workload, policy))
 
-    print(
-        f"{'cell':24s} {'staged':>9s} {'batched':>9s} "
-        f"{'speedup':>8s} {'fast-path':>10s}"
-    )
-    total_staged = total_batched = 0.0
-    for workload, policy in cells:
-        staged = run_workload(workload, policy, engine="staged")
-        batched = run_workload(workload, policy, engine="batched")
-        assert staged.to_dict() == batched.to_dict(), (
-            f"{workload}/{policy}: engines diverged"
-        )
-        t_staged = _best(workload, policy, "staged", args.repeats)
-        t_batched = _best(workload, policy, "batched", args.repeats)
-        total_staged += t_staged
-        total_batched += t_batched
-        print(
-            f"{workload + '/' + policy:24s} "
-            f"{t_staged * 1e3:7.1f}ms {t_batched * 1e3:7.1f}ms "
-            f"{t_staged / t_batched:7.2f}x "
-            f"{batched.fast_path_fraction:10.3f}"
-        )
-    print(
-        f"{'total':24s} {total_staged * 1e3:7.1f}ms "
-        f"{total_batched * 1e3:7.1f}ms "
-        f"{total_staged / total_batched:7.2f}x"
-    )
+    payload = {"schema": "repro/bench-batch/v1", "repeats": args.repeats}
+    if not args.skip_cells:
+        payload.update(_measure_cells(cells, args.repeats))
+    payload["fault_heavy_sweep"] = _measure_sweep(args.repeats)
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    if args.min_sweep_speedup is not None:
+        speedup = payload["fault_heavy_sweep"]["speedup"]
+        if speedup < args.min_sweep_speedup:
+            print(
+                f"FAIL: fault-heavy sweep speedup {speedup:.2f}x < "
+                f"{args.min_sweep_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

@@ -29,6 +29,25 @@ constant must agree between the staged literal and ``_TRANSFER_BYTES``;
 (both engines must share one epoch semantics); and the batched
 translation copies must route through ``translate_head`` or replicate
 its exact TLB sequence.
+
+A fourth check covers the vectorized fault path: when ``batch_faults``
+exists it must route every fault through the staged ``FaultStage``
+binding (``fault``) — never call ``place`` / ``map_single`` /
+``map_page`` / ``map_into_region`` / ``ensure_region`` directly, and
+never touch a data-path channel.  The bit-identity argument for fault
+batching rests entirely on *orchestrating* the staged fault sequence,
+not reimplementing it; a direct placement call or an inlined cost model
+in that function is exactly the drift this rule exists to catch.
+
+One deliberate exception: the **bulk fault path** may inline the PTE
+install (a ``MappingRecord`` construction) — but only inside an ``if``
+fenced by ``bulk_proven``, and only when ``bulk_proven`` is derived
+from membership of the policy's unbound ``place`` in the audited
+``AUDITED_PLACE`` table (on top of ``fault_batch_eligible``).  The
+fence is what turns "reimplementation" back into a sound
+transformation: the inlined statements are provably the body ``place``
+would have executed.  An unfenced ``MappingRecord`` install, or a
+``bulk_proven`` that no longer references the audit table, is drift.
 """
 
 from __future__ import annotations
@@ -259,6 +278,139 @@ def _calls_function(func: ast.FunctionDef, callee: str) -> bool:
     )
 
 
+#: Placement primitives the vectorized fault path must never call
+#: directly: faults are *orchestrated* through the staged FaultStage
+#: binding, which owns the placement call and its error enrichment.
+FAULT_PLACEMENT_CALLS = (
+    "place",
+    "map_single",
+    "map_page",
+    "map_into_region",
+    "ensure_region",
+)
+
+
+def _guarded_node_ids(root: ast.AST, guard: str) -> set:
+    """ids of nodes under an ``if`` whose test reads ``guard``.
+
+    Only ``if`` *bodies* count — the ``else`` branch of a guarded test
+    is by construction the unguarded path.
+    """
+    guarded: set = set()
+
+    def visit(node: ast.AST, active: bool) -> None:
+        if isinstance(node, ast.If):
+            test_names = {
+                n.id for n in ast.walk(node.test)
+                if isinstance(n, ast.Name)
+            }
+            body_active = active or guard in test_names
+            for child in node.body:
+                visit(child, body_active)
+            for child in node.orelse:
+                visit(child, active)
+            return
+        if active:
+            guarded.add(id(node))
+        for child in ast.iter_child_nodes(node):
+            visit(child, active)
+
+    visit(root, False)
+    return guarded
+
+
+def _bulk_proof_intact(tree: ast.AST) -> bool:
+    """True when ``bulk_proven`` is assigned from an expression that
+    reads both ``fault_batch_eligible`` and the ``AUDITED_PLACE`` audit
+    table — the static proof the bulk fault path's fence relies on."""
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign):
+            continue
+        targets = {
+            t.id for t in node.targets if isinstance(t, ast.Name)
+        }
+        if "bulk_proven" not in targets:
+            continue
+        names = {
+            n.id for n in ast.walk(node.value) if isinstance(n, ast.Name)
+        }
+        if {"fault_batch_eligible", "AUDITED_PLACE"} <= names:
+            return True
+    return False
+
+
+def _check_fault_batching(batch: SourceFile) -> Iterator[Finding]:
+    """``batch_faults`` (when present) must route through the staged
+    fault sequence: it may reorder and group faults, but each one must
+    resolve via the bound ``FaultStage.process`` (``fault``), with no
+    direct placement calls and no data-path channel touches — fault
+    batching is orchestration, not a fifth inlined copy.  The single
+    sanctioned exception is the bulk path's inlined PTE install
+    (``MappingRecord``), which must sit behind the ``bulk_proven``
+    fence, itself derived from the ``AUDITED_PLACE`` proof."""
+    func = _find_function(batch.tree, "batch_faults")
+    if func is None:
+        # Pre-fault-batching tree (or fixture): nothing to check.
+        return
+    if not _calls_function(func, "fault"):
+        yield _finding(
+            batch,
+            func,
+            "batch_faults() does not route faults through the staged "
+            "FaultStage binding (fault); the vectorized fault path "
+            "must orchestrate the staged sequence, not replace it",
+        )
+    for node in ast.walk(func):
+        if isinstance(node, ast.Call):
+            callee = (call_name(node) or "").split(".")[-1]
+            if callee in FAULT_PLACEMENT_CALLS:
+                yield _finding(
+                    batch,
+                    node,
+                    f"batch_faults() calls {callee}() directly; "
+                    "placement belongs to the staged FaultStage "
+                    "(error enrichment, fault accounting, repair "
+                    "draining) and must not be inlined here",
+                )
+    touched = _tokens_in_order(_body_nodes(func), DATA_CHANNELS)
+    if touched:
+        yield _finding(
+            batch,
+            func,
+            "batch_faults() touches data-path channels "
+            f"({' -> '.join(_first_occurrence(touched))}); the fault "
+            "path resolves mappings only — replay cost accounting "
+            "stays in the window/scalar copies",
+        )
+    installs = [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.Call)
+        and (call_name(node) or "").split(".")[-1] == "MappingRecord"
+    ]
+    if installs:
+        guarded = _guarded_node_ids(func, "bulk_proven")
+        for node in installs:
+            if id(node) not in guarded:
+                yield _finding(
+                    batch,
+                    node,
+                    "batch_faults() installs a PTE (MappingRecord) "
+                    "outside the bulk_proven fence; the inlined bulk "
+                    "fault path is only sound for policies whose "
+                    "place() passed the AUDITED_PLACE identity proof",
+                )
+        if not _bulk_proof_intact(batch.tree):
+            yield _finding(
+                batch,
+                func,
+                "batch_faults() has a bulk PTE-install path but "
+                "bulk_proven is not derived from fault_batch_eligible "
+                "and the AUDITED_PLACE table; the fence no longer "
+                "proves the inlined placement matches the policy",
+            )
+
+
 def _check_epoch_routing(src: SourceFile) -> Iterator[Finding]:
     """``policy.on_epoch`` may fire only inside ``close_epoch``: the
     epoch semantics (remote ratio, index advance, page-stats reset)
@@ -409,6 +561,9 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
                     f"translate_head ({' -> '.join(head_seq)}); the "
                     "fault-path copy has drifted",
                 )
+
+    # --- vectorized fault-path routing ---
+    yield from _check_fault_batching(batch)
 
     # --- epoch routing, in both engine files ---
     yield from _check_epoch_routing(pipeline)

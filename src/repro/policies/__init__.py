@@ -19,6 +19,7 @@ CLAP itself lives in :mod:`repro.core`; this package holds the baselines:
 from .base import PlacementPolicy
 from .contract import (
     CAPABILITY_FLAGS,
+    OPTIONAL_HOOKS,
     PolicyCapabilities,
     PolicyProtocol,
     validate_policy,
@@ -36,6 +37,7 @@ __all__ = [
     "PolicyProtocol",
     "PolicyCapabilities",
     "CAPABILITY_FLAGS",
+    "OPTIONAL_HOOKS",
     "validate_policy",
     "StaticPaging",
     "IdealPolicy",

@@ -28,6 +28,7 @@ from typing import (
     Any,
     Dict,
     List,
+    Optional,
     Protocol,
     Set,
     Tuple,
@@ -59,6 +60,19 @@ REQUIRED_HOOKS: Tuple[str, ...] = (
     "selection_report",
     "native_sizes",
 )
+
+#: Hooks a policy *may* expose.  ``fault_batch_size`` is the vectorized
+#: fault path's opt-in: a policy returning a page size ``s`` asserts
+#: that, for this run, ``place(vaddr, requester, allocation)`` is
+#: exactly ``pager.map_single(vaddr, s, requester, allocation.alloc_id,
+#: pool_for(allocation))`` — no policy state read or written — so the
+#: batched engine may hoist a run of first-touch faults ahead of the
+#: steady-state replay without changing any observable result.  Policies
+#: whose placement is stateful (CLAP, Barre, C-NUMA) return None and
+#: keep the exact scalar fault path.  Deliberately NOT part of
+#: :data:`CAPABILITY_FLAGS`: it is a pure engine-speed hint and must not
+#: perturb ``policy_fingerprint`` (result-cache keys).
+OPTIONAL_HOOKS: Tuple[str, ...] = ("fault_batch_size",)
 
 
 @runtime_checkable
@@ -99,7 +113,12 @@ class PolicyProtocol(Protocol):
 
 @dataclass(frozen=True)
 class PolicyCapabilities:
-    """Immutable snapshot of a policy's capability flags for one run."""
+    """Immutable snapshot of a policy's capability flags for one run.
+
+    ``fault_batch_size`` snapshots the optional hook of the same name
+    (see :data:`OPTIONAL_HOOKS`): None means the policy did not opt into
+    the vectorized fault path.
+    """
 
     name: str
     coalescing: bool
@@ -108,6 +127,7 @@ class PolicyCapabilities:
     pte_placement: PtePlacement
     wants_page_stats: bool
     num_epochs: int
+    fault_batch_size: Optional[int] = None
 
 
 def validate_policy(policy: Any) -> PolicyCapabilities:
@@ -160,6 +180,7 @@ def validate_policy(policy: Any) -> PolicyCapabilities:
             context={"policy_class": type(policy).__name__,
                      "num_epochs": num_epochs},
         )
+    fault_batch_size = _snapshot_fault_batch_size(policy)
     return PolicyCapabilities(
         name=policy.name,
         coalescing=policy.coalescing,
@@ -168,7 +189,37 @@ def validate_policy(policy: Any) -> PolicyCapabilities:
         pte_placement=policy.pte_placement,
         wants_page_stats=policy.wants_page_stats,
         num_epochs=num_epochs,
+        fault_batch_size=fault_batch_size,
     )
+
+
+def _snapshot_fault_batch_size(policy: Any) -> Optional[int]:
+    """Evaluate the optional ``fault_batch_size`` hook, if declared.
+
+    Duck-typed policies that predate the hook simply do not opt in; a
+    policy that *does* declare it must return None or a positive
+    power-of-two page size.
+    """
+    hook = getattr(policy, "fault_batch_size", None)
+    if hook is None or not callable(hook):
+        return None
+    value = hook()
+    if value is None:
+        return None
+    if (
+        not isinstance(value, int)
+        or isinstance(value, bool)
+        or value <= 0
+        or value & (value - 1)
+    ):
+        raise PolicyContractError(
+            f"policy {policy.name!r} returned {value!r} from "
+            "fault_batch_size(); must be None or a positive power-of-two "
+            "page size",
+            context={"policy_class": type(policy).__name__,
+                     "fault_batch_size": value},
+        )
+    return value
 
 
 class _Missing:

@@ -16,7 +16,7 @@ native page of that size.
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Optional, Set
 
 from ..units import PAGE_2M, PAGE_4K, PAGE_64K, align_down, is_pow2, size_label
 from ..vm.va_space import Allocation
@@ -48,6 +48,13 @@ class StaticPaging(PlacementPolicy):
 
     def native_sizes(self) -> Set[int]:
         return {self.base_size, self.page_size}
+
+    def fault_batch_size(self) -> Optional[int]:
+        """Base-page sizes map one page per fault with no policy state;
+        larger sizes go through region reservation and stay scalar."""
+        if self.page_size <= PAGE_64K:
+            return self.page_size
+        return None
 
     def place(self, vaddr: int, requester: int, allocation: Allocation) -> None:
         pager = self.machine.pager

@@ -39,6 +39,50 @@ clipped so boundaries never fall inside a window).  Telemetry-
 instrumented and multi-page-TLB runs use the staged pipeline entirely
 (see :mod:`repro.sim.engine`).
 
+**The vectorized fault path** (``batch_faults``): when the policy opts
+in via ``fault_batch_size()`` (a contract promise that ``place`` is a
+stateless single-page ``map_single`` at exactly the replay granule) and
+the run has neither bounded capacity nor host eviction, a chunk's
+first-touch faults are resolved as a batch.  One ``np.unique`` over the
+not-yet-replayed tail of the chunk finds each unmapped page's *first*
+access — which is precisely the PMM first-touch owner sample — and the
+batch then drives the unmodified staged ``FaultStage.process`` once per
+page, in trace order of those first touches.  Because qualifying
+placement reads no policy state, touches no translation/data/cache
+state, and allocates frames in the same order the scalar path would,
+hoisting the faults ahead of the intervening steady-state accesses is
+unobservable; the fault buffers, fault counters and exhaustion
+enrichment all run through the very same staged code.  Each fault's
+events are drained and its key re-resolved as it fires, and the scan
+continues with the whole tail window-eligible.  If a batched fault
+resolves to something other than a granule-size mapping (a policy
+whose hook lied), the batch *aborts at that fault*: the path is
+disabled for the rest of the run and every position simply replays
+through the exact scalar fallback.  Nothing has been replayed twice,
+the faults fired so far match the staged order exactly (each resolved
+a full granule, so no other fault could have interleaved), and
+``faults_dropped`` / ``fast_path_fraction`` accounting stays
+consistent because replay accounting only ever happens in the windows
+and ``scalar_one``.
+
+**The bulk fault path**: routing every batched fault through
+``FaultStage.process`` pays the policy dispatch, two page-table
+lookups and a per-fault event drain purely to *verify* a promise.
+When the promise is a static fact — the policy's unbound ``place`` is
+literally one of the audited in-tree implementations listed in
+:data:`AUDITED_PLACE`, whose bodies are by inspection exactly
+``pager.map_single(vaddr, granule, requester, alloc_id,
+pool_for(allocation))`` — no runtime verification is needed, and the
+batch instead inlines that sequence directly: log the fault buffer,
+pop a frame from the allocator free list, insert the PTE, drain the
+buffer.  Statement for statement the same machine mutations in the
+same order (allocation order included), minus the dispatch and the
+checks whose outcomes are already known.  Any subclass override of
+``place`` — however innocent-looking — fails the identity check and
+keeps the ``fault()``-per-fault path above, so a policy that lies
+about its contract still replays bit-identically through the abort
+protocol.
+
 **Why results stay bit-identical** (DESIGN.md section 7): within a
 window no page-table mutation can occur, so resolving records up front
 equals resolving them per access; translation, data and accounting
@@ -53,7 +97,8 @@ affected page keys.
 from __future__ import annotations
 
 import gc
-from typing import List, Optional
+import os
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -68,6 +113,7 @@ from ..mem.dram import ROW_SIZE
 from ..tlb.tlb import TLBEntry
 from ..tlb.units import COALESCE_WINDOW_PAGES
 from ..units import PAGE_2M, PAGE_64K
+from ..vm.page_table import MappingRecord
 from .pipeline import (
     DataStage,
     FaultStage,
@@ -89,6 +135,26 @@ MIN_VEC = 24
 #: ``DataStage``'s ``ring.record_transfer(home, requester, 160)``.
 _TRANSFER_BYTES = 160
 
+#: ``(module, qualname)`` of every unbound ``place`` implementation whose
+#: body is — by direct inspection — exactly the sequence the
+#: ``fault_batch_size`` contract promises: ``pager.map_single(vaddr,
+#: granule, requester, allocation.alloc_id, pool_for(allocation))`` with
+#: no other effect.  Only these may take ``batch_faults``'s bulk path,
+#: which inlines that sequence (frame allocation + page-table insert)
+#: without calling the policy at all.  A subclass override never matches
+#: (its ``__qualname__`` names the subclass), so contract-violating
+#: policies keep the per-fault verified path and its abort protocol.
+#: Adding an entry here asserts you have audited the method body against
+#: the contract comment in :mod:`repro.policies.contract`.
+AUDITED_PLACE = frozenset(
+    {
+        ("repro.policies.static_paging", "StaticPaging.place"),
+        ("repro.policies.ideal", "IdealPolicy.place"),
+        ("repro.policies.mgvm", "MgvmPolicy.place"),
+        ("repro.policies.grit", "GritPolicy.place"),
+    }
+)
+
 
 class BatchedPipeline:
     """Replays a trace through vectorized windows with staged fallback.
@@ -97,10 +163,23 @@ class BatchedPipeline:
     for telemetry-off runs: same constructor state, same ``run()``
     contract, bit-identical :class:`SimState` at the end.  Additionally
     exposes ``fast_path_fraction`` — the fraction of accesses replayed
-    through vectorized windows.
+    through vectorized windows — and ``fault_batch_fraction`` — the
+    fraction of page faults resolved through the vectorized fault path
+    (None when the run was not eligible for it).
+
+    ``prep`` optionally shares the pure-trace-derived per-chunk arrays
+    (page keys, ``np.unique`` output, Python list materializations)
+    between runs that replay the *same* trace — the fused sweep engine
+    (:mod:`repro.sim.xbatch`) passes one dict across all cells of a
+    trace group.  Entries are keyed by ``(start, end, shift)`` and are
+    read-only in use, so sharing cannot couple cells.
     """
 
-    def __init__(self, state: SimState) -> None:
+    def __init__(
+        self,
+        state: SimState,
+        prep: Optional[Dict[Tuple[int, int, int], tuple]] = None,
+    ) -> None:
         self.state = state
         #: Batched runs are always telemetry-off (the engine falls back
         #: to the staged pipeline otherwise); ``_fold_result`` reads this.
@@ -109,6 +188,8 @@ class BatchedPipeline:
         self.translation_stage = TranslationStage(state, None)
         self.data_stage = DataStage(state, None)
         self.fast_path_fraction: Optional[float] = None
+        self.fault_batch_fraction: Optional[float] = None
+        self.prep = prep
 
     def run(self) -> SimState:  # noqa: C901 - one fused hot path
         state = self.state
@@ -333,6 +414,63 @@ class BatchedPipeline:
         kernel_starts = sorted(set(trace.kernel_starts))
 
         fault = self.fault_stage.process
+
+        # --- vectorized fault path eligibility ---
+        # The batch may only hoist faults when placement is provably a
+        # stateless granule-size map_single (the policy's contract
+        # promise), translation units never read the page table between
+        # faults (no coalescing windows), and allocation can neither
+        # evict (host eviction reorders under hoisting) nor exhaust
+        # mid-batch under bounded capacity (the enriched error must
+        # carry the exact staged access index and fault count).
+        # ``REPRO_FAULT_BATCH=0`` forces the pre-vectorization scalar
+        # fault path — a debugging/benchmarking escape hatch (results
+        # are bit-identical either way; only wall time changes).
+        fault_batch_eligible = (
+            getattr(caps, "fault_batch_size", None) == granule
+            and not coalescing
+            and not pattern
+            and machine.pager.eviction is None
+            and machine.allocator.free_capacity(0) is None
+            and os.environ.get("REPRO_FAULT_BATCH", "1").lower()
+            not in ("0", "false")
+        )
+        #: Flips to False when a batch aborts (the hook's promise was
+        #: observed broken); the exact scalar path takes over.
+        fault_batch_enabled = fault_batch_eligible
+        batched_faults = 0
+
+        # --- bulk fault path proof ---
+        # The bulk branch of ``batch_faults`` may only run when the
+        # policy's ``place`` is *literally* one of the audited in-tree
+        # implementations: equivalence to the contract's map_single
+        # sequence is then a static fact, not a runtime observation, so
+        # the policy call, the double page-table lookup and the
+        # per-fault verification all fold away.  Anything else —
+        # subclass overrides included — keeps the fault()-per-fault
+        # path, whose post-fault check catches even contract lies.
+        place_fn = type(state.policy).place
+        bulk_proven = (
+            fault_batch_eligible
+            and (
+                getattr(place_fn, "__module__", None),
+                getattr(place_fn, "__qualname__", None),
+            )
+            in AUDITED_PLACE
+        )
+        bulk_faults = 0
+        if bulk_proven:
+            pool_for = state.policy.pool_for
+            allocations = state.allocations
+            trace_alloc_ids = trace.alloc_ids
+            allocator_allocate = machine.allocator.allocate
+            # The allocator's per-(chiplet, size, pool) free lists: the
+            # bulk loop pops these directly (``allocate`` minus the
+            # constant-size validation) and only calls ``allocate`` to
+            # split a fresh block when a list runs dry.
+            alloc_free = machine.allocator._free
+            buf_log = [b.log for b in machine.fault_buffers]
+            buf_drain = [b.drain for b in machine.fault_buffers]
 
         # --- batch-owned accumulators (merged into state at the end) ---
         vec_translation = 0
@@ -572,16 +710,32 @@ class BatchedPipeline:
             nonlocal acc_epoch_accesses, fast_accesses
 
             m = end - start
-            va_chunk = va_np[start:end]
-            ch_chunk = ch_np[start:end]
-            keys = va_chunk >> shift
-            uniq, inv = np.unique(keys, return_inverse=True)
-            va_list = va_chunk.tolist()
-            ch_list = ch_chunk.tolist()
-            inv_list = inv.tolist()
-            uniq_list = uniq.tolist()
+            # Pure-trace-derived chunk arrays: shareable across cells
+            # replaying the same trace at the same granule (the fused
+            # sweep engine passes ``prep``); everything below is only
+            # ever read, never mutated.
+            prep = self.prep
+            prep_key = (start, end, shift)
+            cached = prep.get(prep_key) if prep is not None else None
+            if cached is None:
+                va_chunk = va_np[start:end]
+                ch_chunk = ch_np[start:end]
+                keys = va_chunk >> shift
+                uniq, inv = np.unique(keys, return_inverse=True)
+                va_list = va_chunk.tolist()
+                ch_list = ch_chunk.tolist()
+                inv_list = inv.tolist()
+                uniq_list = uniq.tolist()
+                key_to_j = {k: j for j, k in enumerate(uniq_list)}
+                if prep is not None:
+                    prep[prep_key] = (
+                        va_chunk, ch_chunk, uniq, inv,
+                        va_list, ch_list, inv_list, uniq_list, key_to_j,
+                    )
+            else:
+                (va_chunk, ch_chunk, uniq, inv,
+                 va_list, ch_list, inv_list, uniq_list, key_to_j) = cached
             n_uniq = len(uniq_list)
-            key_to_j = {k: j for j, k in enumerate(uniq_list)}
 
             recs: List[object] = [None] * n_uniq
             units: List[object] = [None] * n_uniq
@@ -590,6 +744,10 @@ class BatchedPipeline:
             # beat NumPy scalar writes; ``vec_window`` materializes the
             # array views lazily (``vec_arrays``) when one goes stale.
             ok = [False] * n_uniq
+            #: True when the key has *no* PTE at all — distinct from
+            #: "mapped at sub-granule size": only truly unmapped keys
+            #: are first-touch faults the batch path may resolve.
+            unmapped = [False] * n_uniq
             delta = [0] * n_uniq
             homec = [0] * n_uniq
             alloc = [0] * n_uniq
@@ -607,10 +765,12 @@ class BatchedPipeline:
                     recs[j] = None
                     units[j] = None
                     ok[j] = False
+                    unmapped[j] = rec is None
                     return
                 recs[j] = rec
                 units[j] = unit_tuple(va_page, rec)
                 ok[j] = True
+                unmapped[j] = False
                 delta[j] = rec.paddr - rec.va_base
                 homec[j] = rec.chiplet
                 alloc[j] = rec.alloc_id
@@ -1146,6 +1306,124 @@ class BatchedPipeline:
                 vec_translation += tcyc
                 vec_data += dc
 
+            def batch_faults(rel: int) -> int:
+                """Batch-resolve every first-touch fault in ``[rel, m)``.
+
+                One ``np.unique`` over the remaining positions yields,
+                per still-unmapped page, the index of its *first* access
+                — the PMM first-touch owner sample, vectorized.  Every
+                fault then routes through the unmodified staged
+                ``fault`` binding (``FaultStage.process``) in trace
+                order of those first touches: buffer logging, policy
+                placement, frame allocation order, fault counters and
+                exhaustion enrichment are exactly the scalar path's.
+                Returns the number of faults fired (0 = nothing to do).
+
+                The batch aborts at the *first* fault that breaks the
+                ``fault_batch_size`` promise (a stale key, or a mapping
+                smaller than the granule): the path is disabled for the
+                rest of the run and the caller falls back to exact
+                scalar replay.  Aborting per-fault — not after the whole
+                batch — is what keeps even a contract-violating run
+                bit-identical to staged: every fault fired so far
+                resolved a full granule, so between consecutive batched
+                first touches the staged engine would have faulted
+                nothing else, and the machine state at the abort point
+                is exactly the staged state at that fault.  The faults
+                already fired are *not* replayed (a repeat ``fault``
+                call is a pure lookup), so every access and every fault
+                is still processed exactly once.
+
+                When the run is ``bulk_proven`` (``place`` is an audited
+                implementation — see :data:`AUDITED_PLACE`), the batch
+                instead inlines the promised map_single sequence per
+                fault — buffer log, frame pop, PTE insert, buffer drain
+                — in the same order with the same counters, and no
+                verification or abort is needed: equivalence is static.
+                """
+                nonlocal fault_batch_enabled, batched_faults
+                nonlocal bulk_faults, last_gen, vec_arrays
+                seg_uniq, seg_first = np.unique(
+                    inv[rel:], return_index=True
+                )
+                todo = [
+                    (rel + int(first), j)
+                    for j, first in zip(seg_uniq.tolist(), seg_first.tolist())
+                    if unmapped[j] and not ok[j]
+                ]
+                if not todo:
+                    return 0
+                todo.sort()
+                if bulk_proven:
+                    # --- bulk path: statically-audited placement ---
+                    # Exactly FaultStage.process minus what the proof
+                    # makes redundant: the miss lookup (keys are known
+                    # unmapped), the policy dispatch (its body is the
+                    # inlined statements below), the post-place lookup
+                    # and granule check (we installed the PTE), and the
+                    # per-fault event drain (the resolved state is
+                    # written directly).  Counter updates — buffer
+                    # ``faults_logged``, ``mapped_pages``,
+                    # ``generation``, fault totals — are identical.
+                    table = page_table._table_for(granule)
+                    for pos, j in todo:
+                        v = va_list[pos]
+                        r = ch_list[pos]
+                        allocation = allocations[
+                            int(trace_alloc_ids[start + pos])
+                        ]
+                        buf_log[r](v, r)
+                        pool = pool_for(allocation)
+                        fl = alloc_free.get((r, granule, pool))
+                        frame = (
+                            fl.pop()
+                            if fl
+                            else allocator_allocate(r, granule, pool)
+                        )
+                        page_base = v - (v % granule)
+                        vpn = page_base >> shift
+                        if vpn in table:
+                            raise ValueError(
+                                f"page at {page_base:#x} is already mapped"
+                            )
+                        rec = MappingRecord(
+                            page_base,
+                            granule,
+                            frame.paddr,
+                            frame.chiplet,
+                            allocation.alloc_id,
+                        )
+                        table[vpn] = rec
+                        buf_drain[r]()
+                        recs[j] = rec
+                        units[j] = unit_tuple(page_base, rec)
+                        ok[j] = True
+                        unmapped[j] = False
+                        delta[j] = frame.paddr - page_base
+                        homec[j] = frame.chiplet
+                        alloc[j] = allocation.alloc_id
+                    done = len(todo)
+                    page_table.mapped_pages += done
+                    page_table.generation += done
+                    last_gen = page_table.generation
+                    vec_arrays = None
+                    bulk_faults += done
+                    batched_faults += done
+                    return done
+                done = 0
+                for pos, j in todo:
+                    if ok[j]:
+                        # A previous fault over-mapped this key (only a
+                        # contract violation can): no fault to fire.
+                        continue
+                    fault(start + pos, ch_list[pos], va_list[pos])
+                    done += 1
+                    if drain_repairs() or not ok[j]:
+                        fault_batch_enabled = False
+                        break
+                batched_faults += done
+                return done
+
             # --- window scan over the chunk ---
             # Unresolved positions are computed once; faults only shrink
             # the set (checked lazily via ``ok``), so the list is rebuilt
@@ -1175,6 +1453,18 @@ class BatchedPipeline:
                     fast_accesses += f
                     rel = nxt
                 if rel < m:
+                    if fault_batch_enabled and unmapped[inv_list[rel]]:
+                        # ``batch_faults`` drained its own events, so
+                        # the next drain_repairs() is a no-op; rebuild
+                        # the unresolved list from the resolved flags
+                        # (on abort, keys behind/ahead may have moved).
+                        if batch_faults(rel):
+                            ok_np = np.array(ok, dtype=bool)
+                            bad_list = (
+                                rel + np.flatnonzero(~ok_np[inv[rel:]])
+                            ).tolist()
+                            bp = 0
+                            continue
                     scalar_one(start + rel)
                     rel += 1
 
@@ -1213,6 +1503,9 @@ class BatchedPipeline:
             # Publish even on an abort so error enrichment and
             # post-mortems see true totals (mirrors AccessPipeline.run).
             self.fault_stage.finish()
+            # Bulk-path faults bypass FaultStage entirely; fold them
+            # into the same total its finish() just published.
+            state.faults += bulk_faults
             self.translation_stage.finish()
             self.data_stage.finish()
             state.translation_cycles += vec_translation
@@ -1225,6 +1518,10 @@ class BatchedPipeline:
         if state.epoch_accesses:
             close_epoch(state, None)
         self.fast_path_fraction = fast_accesses / n if n else 1.0
+        if fault_batch_eligible:
+            self.fault_batch_fraction = (
+                batched_faults / state.faults if state.faults else 1.0
+            )
         return state
 
 

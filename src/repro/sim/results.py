@@ -51,7 +51,10 @@ CACHE_CUSTOM_FIELDS: Tuple[str, ...] = (
 #: run was computed, not what it computed, and must therefore carry
 #: ``field(compare=False)`` so cached, staged and batched results of
 #: the same cell stay equal (the ``fast_path_fraction`` precedent).
-CACHE_EXCLUDED_FIELDS: Tuple[str, ...] = ("fast_path_fraction",)
+CACHE_EXCLUDED_FIELDS: Tuple[str, ...] = (
+    "fast_path_fraction",
+    "fault_batch_fraction",
+)
 
 
 @dataclass(frozen=True)
@@ -109,6 +112,12 @@ class SimResult:
     #: what it computed — it is excluded from equality and ``to_dict``
     #: so cached/staged/batched results of the same cell stay equal.
     fast_path_fraction: Optional[float] = field(default=None, compare=False)
+    #: Fraction of page faults the batched engine resolved through its
+    #: vectorized fault path (``batch_faults``); None when the run was
+    #: not eligible (staged engine, stateful-placement policies,
+    #: bounded capacity, host eviction).  Computed-how metadata like
+    #: ``fast_path_fraction``: excluded from equality and ``to_dict``.
+    fault_batch_fraction: Optional[float] = field(default=None, compare=False)
 
     @property
     def performance(self) -> float:

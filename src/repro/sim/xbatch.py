@@ -1,0 +1,122 @@
+"""Cross-cell fused replay: sweep cells sharing one trace, run as a group.
+
+Design-space sweeps are dominated by cells that differ only in policy or
+machine configuration while replaying the *same* trace: one workload,
+one seed, one chiplet count.  Each such cell normally regenerates the
+trace and re-derives every pure-trace quantity the batched engine needs
+(granule-page keys, ``np.unique`` classification, Python-list
+materializations of the chunk arrays) from scratch.
+
+:class:`BatchedSweepPipeline` replays a *trace group* instead: the trace
+is built once, and every cell of the group replays it through the
+batched engine with one shared ``prep`` dict — the per-chunk
+trace-derived arrays are computed by whichever cell reaches a chunk
+first and reused read-only by the rest, while each cell keeps its own
+**per-cell parameter arrays** (the per-unique-page ``delta`` /
+``homec`` / ``alloc`` arrays that parameterize its windows) and its own
+machine, caches and counters.  Every cell therefore emits one fully
+independent :class:`~repro.sim.results.SimResult`, bit-identical to a
+standalone staged or batched run of the same cell.
+
+**Why sharing is sound**: VA-space layout and trace generation are
+deterministic functions of ``(WorkloadSpec, num_chiplets, seed)`` — the
+determinism suite pins this — so every cell's machine lays out identical
+allocations and the shared trace's vaddrs/alloc_ids are valid for all of
+them.  The shared prep entries are derived from the trace alone (never
+from machine state) and are only ever read during replay, so no state
+can leak between cells.
+
+The sweep runner (:mod:`repro.sim.parallel`) performs the grouping: under
+``--engine fused`` it buckets pending cells by :func:`trace_group_key`
+and routes groups of two or more through :func:`run_group`; singleton
+groups and any cell whose fused run fails fall back to the normal
+per-cell machinery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import List, Union
+
+from ..config import baseline_config
+from ..trace.workload import Workload
+from .engine import run_simulation
+from .results import SimResult
+
+__all__ = ["BatchedSweepPipeline", "run_group", "trace_group_key"]
+
+
+def trace_group_key(cell) -> str:
+    """Trace fingerprint of a sweep cell.
+
+    Two cells with equal keys replay byte-identical traces: the trace is
+    a deterministic function of the workload spec, the seed and the
+    chiplet count, and of nothing else (policy, interleave, remote cache
+    and timing only affect the replay).
+    """
+    from .parallel import _jsonable
+
+    config = cell.config if cell.config is not None else baseline_config()
+    payload = {
+        "workload": _jsonable(cell.workload),
+        "seed": cell.seed,
+        "num_chiplets": config.num_chiplets,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class BatchedSweepPipeline:
+    """Replay a group of same-trace sweep cells through one shared prep.
+
+    ``cells`` must share a :func:`trace_group_key` (the caller groups);
+    :meth:`run` returns one outcome per cell, in order — a
+    :class:`SimResult` on success or the raised exception on failure, so
+    one broken cell never poisons its group (the runner re-dispatches
+    failures through its normal retry machinery).
+    """
+
+    def __init__(self, cells) -> None:
+        self.cells = list(cells)
+        if not self.cells:
+            raise ValueError("a trace group needs at least one cell")
+
+    def run(self) -> List[Union[SimResult, Exception]]:
+        first = self.cells[0]
+        config = (
+            first.config if first.config is not None else baseline_config()
+        )
+        # Build the group's trace once against a fresh VA space; the
+        # per-cell machines lay out identical allocations (determinism
+        # invariant), so the trace is valid for every cell.
+        workload = Workload(
+            first.workload, config.num_chiplets, seed=first.seed
+        )
+        trace = workload.build_trace(first.seed)
+        prep: dict = {}
+        outcomes: List[Union[SimResult, Exception]] = []
+        for cell in self.cells:
+            try:
+                outcomes.append(
+                    run_simulation(
+                        cell.workload,
+                        cell.policy,
+                        cell.config,
+                        interleave=cell.interleave,
+                        remote_cache=cell.remote_cache,
+                        seed=cell.seed,
+                        timing=cell.timing,
+                        trace=trace,
+                        engine="fused",
+                        shared_prep=prep,
+                    )
+                )
+            except Exception as exc:  # runner retries through normal path
+                outcomes.append(exc)
+        return outcomes
+
+
+def run_group(cells) -> List[Union[SimResult, Exception]]:
+    """Convenience wrapper: fused replay of one trace group."""
+    return BatchedSweepPipeline(cells).run()

@@ -416,6 +416,56 @@ def test_engine_drift_in_live_batch_fails_lint(mutable_tree):
     )
 
 
+def test_inlined_placement_in_batch_faults_fails_lint(mutable_tree):
+    # The drift the fault-batching check exists for: resolving batched
+    # faults by calling the placement primitive directly instead of
+    # routing through the staged FaultStage binding.
+    reintroduce(
+        mutable_tree / "sim" / "batch.py",
+        "fault(start + pos, ch_list[pos], va_list[pos])",
+        "machine.pager.map_single(va_list[pos], granule, "
+        "ch_list[pos], 0, None)",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR004"])
+    assert any(
+        "does not route faults through the staged FaultStage"
+        in f.message
+        for f in findings
+    )
+    assert any(
+        "calls map_single() directly" in f.message for f in findings
+    )
+
+
+def test_unfenced_bulk_install_fails_lint(mutable_tree):
+    # Weakening the bulk path's fence from the audited-place proof to
+    # the mere eligibility flag would run inlined placement for *any*
+    # opted-in policy, including ones whose place() is overridden.
+    reintroduce(
+        mutable_tree / "sim" / "batch.py",
+        "                if bulk_proven:",
+        "                if fault_batch_enabled:",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR004"])
+    assert any(
+        "outside the bulk_proven fence" in f.message for f in findings
+    )
+
+
+def test_bulk_proof_without_audit_table_fails_lint(mutable_tree):
+    # The fence is only as strong as its proof: bulk_proven must be
+    # derived from AUDITED_PLACE membership, not eligibility alone.
+    reintroduce(
+        mutable_tree / "sim" / "batch.py",
+        "            in AUDITED_PLACE\n        )",
+        "            in frozenset()\n        )",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR004"])
+    assert any(
+        "bulk_proven is not derived from" in f.message for f in findings
+    )
+
+
 # ------------------------------------------------------------------- mypy
 
 

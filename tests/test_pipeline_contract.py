@@ -10,6 +10,14 @@ Two guarantees of the AccessPipeline refactor:
   fails fast at attach/validation time with a typed
   :class:`~repro.errors.PolicyContractError` naming every violation,
   instead of an ``AttributeError`` deep inside the per-access loop.
+
+Two further engine gates live here: a twelve-cell *fused-replay golden
+fixture* — one trace group swept through the real ``SweepRunner`` under
+every engine, per-cell results and fingerprints identical — and the
+vectorized fault path's abort regression, which forces a mid-batch
+contract violation and requires bit-identity plus consistent
+``faults_dropped`` / ``fast_path_fraction`` / ``fault_batch_fraction``
+accounting anyway.
 """
 
 import json
@@ -33,7 +41,7 @@ from repro.sim.engine import run_simulation
 from repro.sim.errors import PolicyContractError as ReexportedError
 from repro.sim.runner import run_workload
 from repro.trace.suite import workload_by_name
-from repro.units import PAGE_64K
+from repro.units import PAGE_4K, PAGE_64K
 
 GOLDEN_PATH = Path(__file__).parent / "data" / "golden_pipeline_results.json"
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
@@ -246,3 +254,161 @@ def test_final_partial_epoch_is_flushed():
     assert n % epoch_len != 0
     expected = n // epoch_len + 1
     assert policy.epochs == list(range(expected))
+
+
+# --- multi-cell fused replay (cross-cell trace-group fusion) ---
+#
+# Twelve sweep cells all replaying the quick STE trace under seed 7 —
+# every policy family plus the remote-cache and naive-interleave paths —
+# form exactly one trace group.  The sweep is run once per engine
+# through the real ``SweepRunner`` (serial, cache off), so the fused run
+# exercises the runner's trace-group detection and
+# ``BatchedSweepPipeline`` end to end; per-cell results and cell
+# fingerprints must be identical across engines.
+
+FUSED_GROUP_CELLS = [
+    ("S-4KB", {}),
+    ("S-64KB", {}),
+    ("S-2MB", {}),
+    ("CLAP", {}),
+    ("Ideal", {}),
+    ("MGvm", {}),
+    ("F-Barre", {}),
+    ("GRIT", {}),
+    ("Ideal_C-NUMA", {}),
+    ("Ideal_C-NUMA+inter", {}),
+    ("S-2MB", {"remote_cache": "NUBA"}),
+    ("S-64KB", {"interleave": InterleavePolicy.NAIVE}),
+]
+
+
+def _fused_group_cells():
+    from repro.sim.parallel import SweepCell
+
+    return [
+        SweepCell("STE", policy, seed=7, **kwargs)
+        for policy, kwargs in FUSED_GROUP_CELLS
+    ]
+
+
+def _sweep_under_engine(engine):
+    from repro.sim.parallel import SweepRunner, cell_fingerprint
+
+    mp = pytest.MonkeyPatch()
+    try:
+        mp.setenv("REPRO_ENGINE", engine)
+        mp.delenv("REPRO_TELEMETRY", raising=False)
+        cells = _fused_group_cells()
+        fingerprints = [cell_fingerprint(cell) for cell in cells]
+        runner = SweepRunner(jobs=1, use_cache=False)
+        results = runner.run_cells(cells)
+        assert all(result is not None for result in results)
+        return {
+            "dicts": [result.to_dict() for result in results],
+            "faults_dropped": [r.faults_dropped for r in results],
+            "fingerprints": fingerprints,
+            "simulated": runner.stats.simulated,
+        }
+    finally:
+        mp.undo()
+
+
+@pytest.fixture(scope="module")
+def fused_group_sweeps():
+    return {
+        engine: _sweep_under_engine(engine)
+        for engine in ("staged", "batched", "fused")
+    }
+
+
+def test_fused_group_cells_share_one_trace_group():
+    from repro.sim.xbatch import trace_group_key
+
+    keys = {trace_group_key(cell) for cell in _fused_group_cells()}
+    assert len(keys) == 1
+
+
+@pytest.mark.parametrize("engine", ["staged", "batched", "fused"])
+def test_fused_group_sweep_simulates_every_cell(fused_group_sweeps, engine):
+    """No cell is skipped, deduplicated away, or silently dropped by
+    the fused grouping — all twelve simulate under every engine."""
+    assert fused_group_sweeps[engine]["simulated"] == len(FUSED_GROUP_CELLS)
+    assert len(fused_group_sweeps[engine]["dicts"]) == len(FUSED_GROUP_CELLS)
+
+
+@pytest.mark.parametrize("engine", ["batched", "fused"])
+def test_fused_group_sweep_bit_identical_to_staged(
+    fused_group_sweeps, engine
+):
+    staged = fused_group_sweeps["staged"]
+    other = fused_group_sweeps[engine]
+    assert other["fingerprints"] == staged["fingerprints"]
+    assert other["faults_dropped"] == staged["faults_dropped"]
+    for index, (policy, kwargs) in enumerate(FUSED_GROUP_CELLS):
+        assert other["dicts"][index] == staged["dicts"][index], (
+            f"cell {index} ({policy}, {kwargs}) diverged between the "
+            f"{engine} sweep and the staged sweep"
+        )
+
+
+# --- vectorized fault path: opt-in accounting and the abort gate ---
+
+
+class _LyingPolicy(StaticPaging):
+    """Opts into 64KB fault batching but maps 4KB pages — the contract
+    violation the per-fault abort in ``batch_faults`` exists for."""
+
+    def __init__(self):
+        super().__init__(PAGE_64K)
+        self.name = "lying-64K"
+
+    def place(self, vaddr, requester, allocation):
+        self.machine.pager.map_single(
+            vaddr,
+            PAGE_4K,
+            requester,
+            allocation.alloc_id,
+            self.pool_for(allocation),
+        )
+
+
+def test_fault_batch_fraction_reported_on_batchable_cells():
+    """Opted-in policies report full batch coverage; the staged engine
+    and non-eligible policies report None; and like
+    ``fast_path_fraction`` the metric never enters the cache payload."""
+    batched = run_workload("STE", "S-64KB", engine="batched")
+    assert batched.fault_batch_fraction == 1.0
+    assert "fault_batch_fraction" not in batched.to_dict()
+    staged = run_workload("STE", "S-64KB", engine="staged")
+    assert staged.fault_batch_fraction is None
+    # CLAP coalesces translations: ineligible by the capability gate.
+    clap = run_workload("STE", "CLAP", engine="batched")
+    assert clap.fault_batch_fraction is None
+
+
+def test_fault_batch_abort_keeps_results_and_accounting_consistent():
+    """Force a mid-vectorization abort and require bit-identity anyway.
+
+    The lying policy resolves its first batched fault at 4KB, below the
+    64KB granule it promised, so the batch aborts at that fault and the
+    rest of the run replays through the exact scalar fallback.  The
+    result must still match the staged engine field for field —
+    including ``faults_dropped`` — and both *how-computed* fractions
+    must stay well-formed and outside the cache payload.
+    """
+    spec = workload_by_name("STE")
+    staged = run_simulation(spec, _LyingPolicy(), engine="staged")
+    batched = run_simulation(spec, _LyingPolicy(), engine="batched")
+    assert staged == batched
+    assert staged.to_dict() == batched.to_dict()
+    assert batched.faults_dropped == staged.faults_dropped
+    # The abort really happened: the run was eligible (fraction is not
+    # None), at least one fault was batched before the violation was
+    # detected, and the scalar fallback carried the rest.
+    assert batched.fault_batch_fraction is not None
+    assert 0.0 < batched.fault_batch_fraction < 1.0
+    assert staged.fault_batch_fraction is None
+    assert batched.fast_path_fraction is not None
+    assert 0.0 <= batched.fast_path_fraction <= 1.0
+    assert "fault_batch_fraction" not in batched.to_dict()
+    assert "fast_path_fraction" not in batched.to_dict()

@@ -5,11 +5,19 @@ reservations, releases, migrations) and random workload shapes through
 the stack; after every sequence the machine-state validator must hold.
 This is the class of test that catches frame double-allocation and
 region bookkeeping bugs that example-based tests miss.
+
+The second half is the *engine differential suite*: 135 generated cells
+replayed through all three engines (staged / batched / fused), stratified
+across the regimes where the vectorized fault path and cross-cell fusion
+could drift — fault-heavy first-touch traces, oversubscription eviction,
+migrating policies, multi-structure interleave, and capacity-exhaustion-
+adjacent occupancy.  Every case asserts full ``SimResult`` bit-identity.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.arch.address import InterleavePolicy
 from repro.config import baseline_config
 from repro.core.clap import ClapPolicy
 from repro.sim.engine import run_simulation
@@ -131,7 +139,20 @@ def test_clap_on_random_workloads(spec, seed):
     assert result.page_faults > 0
 
 
-# --- engine differential equivalence (staged vs batched) --------------
+# --- engine differential equivalence (staged vs batched vs fused) -----
+#
+# Every differential property below replays the same cell through all
+# three engines with a *fresh* policy instance per run and asserts full
+# ``SimResult`` bit-identity: dataclass equality, the serialized cache
+# payload (``to_dict``), and — explicitly, because the fault-buffer
+# overflow path is the easiest counter to desynchronize — equal
+# ``faults_dropped``.  The strategies are stratified to hit the regimes
+# where the vectorized fault path (``sim/batch.py``) could drift from
+# the staged ``FaultStage``: first-touch-dense traces, oversubscription
+# eviction, migrating policies, multi-structure interleave, and
+# capacity-exhaustion-adjacent occupancy.
+
+ENGINE_TRIPLET = ("staged", "batched", "fused")
 
 _any_policy = st.sampled_from(
     [
@@ -140,21 +161,241 @@ _any_policy = st.sampled_from(
     ]
 )
 
+#: Policies that opt into the vectorized fault path (``fault_batch_size``
+#: == their granule): these exercise ``batch_faults`` itself, not just
+#: the eligibility gate.
+_batchable_policy = st.sampled_from(
+    ["S-4KB", "S-64KB", "Ideal", "MGvm", "GRIT"]
+)
+
+#: Policies that migrate pages mid-run (between chunks / at epochs).
+_migrating_policy = st.sampled_from(
+    ["GRIT", "Ideal_C-NUMA", "Ideal_C-NUMA+inter"]
+)
+
+
+def _assert_engines_identical(run_one):
+    """Run ``run_one(engine)`` for all engines; assert bit-identity.
+
+    Returns the staged result so callers can pin extra regime
+    assertions (e.g. the case actually faulted).
+    """
+    results = {engine: run_one(engine) for engine in ENGINE_TRIPLET}
+    staged = results["staged"]
+    for engine in ("batched", "fused"):
+        other = results[engine]
+        assert other == staged, f"{engine} drifted from staged"
+        assert other.to_dict() == staged.to_dict()
+        assert other.faults_dropped == staged.faults_dropped
+    return staged
+
+
+@st.composite
+def _fault_heavy_spec(draw):
+    """First-touch-dominated traces: one wave, one line per touch, so
+    nearly every granule page is reached through the fault path and the
+    batched engine's ``batch_faults`` windows stay long."""
+    structures = []
+    for index in range(draw(st.integers(1, 2))):
+        size_mb = draw(st.sampled_from([2, 4, 8]))
+        structures.append(
+            StructureSpec(
+                f"f{index}",
+                size_mb * MB,
+                size_mb * MB,
+                draw(_pattern),
+                group_pages=draw(st.sampled_from([1, 2])),
+                noise=0.0,
+                waves=1,
+                lines_per_touch=1,
+            )
+        )
+    return WorkloadSpec(
+        abbr="FHVY",
+        title="fault-heavy fuzz",
+        structures=tuple(structures),
+        tb_count=32,
+        mem_fraction=0.5,
+    )
+
+
+@st.composite
+def _interleaved_spec(draw):
+    """Three structures of mixed patterns sharing the VA space, so
+    chunk windows interleave allocations (the regime where per-unique-
+    page classification in the batched engine does real work)."""
+    structures = []
+    for index in range(3):
+        size_mb = draw(st.sampled_from([2, 4, 6]))
+        structures.append(
+            StructureSpec(
+                f"m{index}",
+                size_mb * MB,
+                size_mb * MB,
+                draw(_pattern),
+                group_pages=draw(st.sampled_from([1, 4, 32])),
+                noise=draw(st.sampled_from([0.0, 0.1])),
+                waves=2,
+                lines_per_touch=2,
+            )
+        )
+    return WorkloadSpec(
+        abbr="MIXD",
+        title="multi-structure interleave fuzz",
+        structures=tuple(structures),
+        tb_count=64,
+        mem_fraction=0.4,
+    )
+
 
 @given(spec=_random_spec(), seed=st.integers(0, 50), policy=_any_policy)
-@settings(max_examples=30, deadline=None)
-def test_batched_engine_bit_identical_to_staged(spec, seed, policy):
-    """For any workload shape, seed and policy family, the batched
-    engine must produce the *same* ``SimResult`` as the staged pipeline
-    — every counter, cycle total, selection and energy figure, as
-    serialized by ``to_dict`` (the result-cache payload, which is also
-    why the cache key may ignore the engine)."""
+@settings(max_examples=40, deadline=None)
+def test_engines_bit_identical_on_random_workloads(spec, seed, policy):
+    """For any workload shape, seed and policy family, the batched and
+    fused engines must produce the *same* ``SimResult`` as the staged
+    pipeline — every counter, cycle total, selection and energy figure,
+    as serialized by ``to_dict`` (the result-cache payload, which is
+    also why the cache key may ignore the engine)."""
     from repro.sim.runner import run_workload
 
-    staged = run_workload(spec, policy, seed=seed, engine="staged")
-    batched = run_workload(spec, policy, seed=seed, engine="batched")
-    assert staged == batched
-    assert staged.to_dict() == batched.to_dict()
+    _assert_engines_identical(
+        lambda engine: run_workload(spec, policy, seed=seed, engine=engine)
+    )
+
+
+@given(
+    spec=_fault_heavy_spec(),
+    seed=st.integers(0, 50),
+    policy=_batchable_policy,
+)
+@settings(max_examples=30, deadline=None)
+def test_engines_bit_identical_on_fault_heavy_workloads(spec, seed, policy):
+    """High first-touch density with fault-batching policies: the
+    vectorized fault path resolves runs of consecutive faults and must
+    still match the staged engine fault for fault."""
+    from repro.sim.runner import run_workload
+
+    staged = _assert_engines_identical(
+        lambda engine: run_workload(spec, policy, seed=seed, engine=engine)
+    )
+    assert staged.page_faults > 0
+
+
+@given(
+    spec=_fault_heavy_spec(),
+    seed=st.integers(0, 30),
+    policy=_any_policy,
+    cap=st.integers(1, 4),
+)
+@settings(max_examples=20, deadline=None)
+def test_engines_bit_identical_under_oversubscription_eviction(
+    spec, seed, policy, cap
+):
+    """Bounded GPU memory with host eviction: evictions, host refaults
+    and dropped faults must stay engine-invariant (the batched engine
+    must notice it is ineligible for fault batching and fall back)."""
+    from repro.sim.runner import resolve_policy
+
+    def run_one(engine):
+        return run_simulation(
+            spec,
+            resolve_policy(policy),
+            seed=seed,
+            capacity_blocks_per_chiplet=cap,
+            host_eviction=True,
+            engine=engine,
+        )
+
+    _assert_engines_identical(run_one)
+
+
+@given(
+    spec=_random_spec(), seed=st.integers(0, 50), policy=_migrating_policy
+)
+@settings(max_examples=15, deadline=None)
+def test_engines_bit_identical_under_migration_policies(spec, seed, policy):
+    """Policies that migrate pages between chunks/epochs: migrations
+    reshuffle ownership mid-run, and the engines must agree on every
+    post-migration counter."""
+    from repro.sim.runner import run_workload
+
+    _assert_engines_identical(
+        lambda engine: run_workload(spec, policy, seed=seed, engine=engine)
+    )
+
+
+@given(
+    spec=_interleaved_spec(),
+    seed=st.integers(0, 50),
+    policy=_any_policy,
+    interleave=st.sampled_from(
+        [InterleavePolicy.NAIVE, InterleavePolicy.NUMA_AWARE]
+    ),
+)
+@settings(max_examples=15, deadline=None)
+def test_engines_bit_identical_on_multi_structure_interleave(
+    spec, seed, policy, interleave
+):
+    """Three interleaved structures under both physical-address
+    interleaving modes: chunk windows mixing allocations must classify
+    identically in all engines."""
+    from repro.sim.runner import resolve_policy
+
+    def run_one(engine):
+        return run_simulation(
+            spec,
+            resolve_policy(policy),
+            seed=seed,
+            interleave=interleave,
+            engine=engine,
+        )
+
+    _assert_engines_identical(run_one)
+
+
+@given(
+    spec=_fault_heavy_spec(),
+    seed=st.integers(0, 20),
+    policy=_batchable_policy,
+    cap=st.integers(1, 3),
+)
+@settings(max_examples=15, deadline=None)
+def test_engines_agree_at_capacity_exhaustion_boundary(
+    spec, seed, policy, cap
+):
+    """Occupancy adjacent to capacity exhaustion, *without* host
+    eviction: whether a cell completes or dies must be engine-invariant,
+    and when it dies every engine must report the identical enriched
+    exhaustion context (same trace position, same fault count)."""
+    from repro.errors import MemoryExhaustedError
+    from repro.sim.runner import resolve_policy
+
+    def run_one(engine):
+        try:
+            result = run_simulation(
+                spec,
+                resolve_policy(policy),
+                seed=seed,
+                capacity_blocks_per_chiplet=cap,
+                engine=engine,
+            )
+            return ("completed", result)
+        except MemoryExhaustedError as exc:
+            return ("exhausted", dict(exc.context))
+
+    outcomes = {engine: run_one(engine) for engine in ENGINE_TRIPLET}
+    staged_kind, staged_value = outcomes["staged"]
+    for engine in ("batched", "fused"):
+        kind, value = outcomes[engine]
+        assert kind == staged_kind, (
+            f"{engine} {kind} but staged {staged_kind}"
+        )
+        if kind == "completed":
+            assert value == staged_value
+            assert value.to_dict() == staged_value.to_dict()
+            assert value.faults_dropped == staged_value.faults_dropped
+        else:
+            assert value == staged_value
 
 
 # --- determinism (the invariant the result cache relies on) -----------

@@ -154,17 +154,20 @@ class TestSimResultSerialization:
     def test_to_dict_covers_every_field(self):
         """New SimResult fields must be added to the serializer.
 
-        ``fast_path_fraction`` is deliberately absent: it describes how
-        the run was computed (staged vs batched replay), not what it
-        computed, so it stays out of the cached payload — cached,
-        staged and batched results of one cell must remain equal.
+        The ``CACHE_EXCLUDED_FIELDS`` (``fast_path_fraction``,
+        ``fault_batch_fraction``) are deliberately absent: they describe
+        how the run was computed (staged vs batched replay), not what it
+        computed, so they stay out of the cached payload — cached,
+        staged, batched and fused results of one cell must remain equal.
         """
         from dataclasses import fields
 
+        from repro.sim.results import CACHE_EXCLUDED_FIELDS
+
         data = self.full_result().to_dict()
-        expected = {f.name for f in fields(SimResult)} - {
-            "fast_path_fraction"
-        }
+        expected = {f.name for f in fields(SimResult)} - set(
+            CACHE_EXCLUDED_FIELDS
+        )
         assert set(data) == expected
 
     def test_from_dict_rejects_unknown_fields(self):
