@@ -29,6 +29,15 @@ recorded and skipped, or is retried with exponential backoff
 (``--retries`` extra attempts), and completed cells are always flushed
 to the result cache — an aborted sweep resumes from where it stopped.
 
+``--runners N`` (default ``REPRO_RUNNERS``) goes further: cells execute
+through the crash-safe work-stealing coordinator — N independent runner
+processes claiming cells via short-TTL lease files (``--lease-ttl`` /
+``REPRO_LEASE_TTL``), stealing from dead runners and journaling every
+completion.  A killed sweep is continued by ``python -m repro sweep
+--resume <sweep-id>`` (the id is printed at the end of a coordinator
+run, or fixed up front with ``--sweep-id`` / ``REPRO_SWEEP_ID``) with
+bit-identical final results.
+
 ``--telemetry`` (default: the ``REPRO_TELEMETRY`` env flag) records
 per-stage pipeline telemetry and writes one JSON file per simulation
 into ``--telemetry-dir`` (default ``REPRO_TELEMETRY_DIR`` or
@@ -53,7 +62,15 @@ import sys
 from pathlib import Path
 
 from .render import render_bars
-from .sim.parallel import ResultCache, SweepRunner
+from .sim.coordinator import (
+    CoordinatorConfig,
+    load_cells,
+    resolve_lease_ttl,
+    resolve_runners,
+    resolve_sweep_id,
+)
+from .sim.durability import atomic_write
+from .sim.parallel import ResultCache, SweepCell, SweepRunner
 from .sim.runner import resolve_policy, run_workload
 from .trace.suite import SUITE, workload_by_name
 from .units import SWEEP_PAGE_SIZES, size_label
@@ -83,11 +100,49 @@ _POLICY_NAMES = (
 _REPORT_EXPERIMENTS = ("fig6", "table2", "fig18", "fig22")
 
 
-def _make_runner(args: argparse.Namespace) -> SweepRunner:
+def _coordinator_config(
+    args: argparse.Namespace, *, force: bool = False
+) -> "CoordinatorConfig | None":
+    """Coordinator settings from flags/env, or None (pool mode).
+
+    ``--runners`` (or ``REPRO_RUNNERS``) switches sweep execution to
+    the lease-based work-stealing coordinator; ``force`` (used by
+    ``sweep --resume``) enables it with the default runner count even
+    when neither was given.
+    """
+    runners = resolve_runners(getattr(args, "runners", None))
+    if runners is None and not force:
+        return None
+    return CoordinatorConfig(
+        sweep_id=resolve_sweep_id(getattr(args, "sweep_id", None)),
+        runners=runners if runners is not None else 2,
+        lease_ttl=resolve_lease_ttl(getattr(args, "lease_ttl", None)),
+    )
+
+
+def _make_runner(
+    args: argparse.Namespace, *, force_coordinator: bool = False
+) -> SweepRunner:
     """Build the runner the sweep-style commands share, honouring flags."""
     if args.clear_cache:
         removed = ResultCache().clear()
         print(f"cleared {removed} cached result(s)")
+    coordinator = _coordinator_config(args, force=force_coordinator)
+    if coordinator is not None:
+        if args.no_cache:
+            print(
+                "--runners/--resume need the result cache (it is the "
+                "rendezvous point); drop --no-cache",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
+        if args.telemetry:
+            print(
+                "--runners/--resume cannot record telemetry; drop "
+                "--telemetry",
+                file=sys.stderr,
+            )
+            raise SystemExit(2)
     return SweepRunner(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -96,6 +151,7 @@ def _make_runner(args: argparse.Namespace) -> SweepRunner:
         max_attempts=args.retries + 1,
         telemetry=args.telemetry,
         telemetry_dir=args.telemetry_dir,
+        coordinator=coordinator,
     )
 
 
@@ -128,8 +184,29 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         help="extra attempts for retried cells (default: 2; the last "
              "retry runs in-process)",
     )
+    _add_coordinator_flags(parser)
     _add_telemetry_flags(parser)
     _add_engine_flags(parser)
+
+
+def _add_coordinator_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--runners", type=int, default=None, metavar="N",
+        help="run cells through the crash-safe work-stealing "
+             "coordinator with N independent runner processes "
+             "(default: REPRO_RUNNERS, else the process pool)",
+    )
+    parser.add_argument(
+        "--sweep-id", default=None, metavar="ID",
+        help="coordinator sweep id (default: REPRO_SWEEP_ID, else "
+             "derived from the cell fingerprints — identical sweeps "
+             "share state and resume each other)",
+    )
+    parser.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="seconds before an unrenewed cell lease may be stolen "
+             "from a dead runner (default: REPRO_LEASE_TTL or 30)",
+    )
 
 
 def _add_engine_flags(parser: argparse.ArgumentParser) -> None:
@@ -171,16 +248,18 @@ def _dump_run_telemetry(result, telemetry_dir) -> Path:
     )
     root.mkdir(parents=True, exist_ok=True)
     path = root / f"{result.workload}-{result.policy}.json"
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(
+    atomic_write(
+        path,
+        json.dumps(
             {
                 "workload": result.workload,
                 "policy": result.policy,
                 "telemetry": result.telemetry,
             },
-            fh,
             indent=2,
-        )
+        ),
+        fsync=False,
+    )
     return path
 
 
@@ -279,20 +358,61 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .policies import StaticPaging
 
-    spec = workload_by_name(args.workload)
-    results = {
-        size: run_workload(spec, StaticPaging(size), seed=args.seed)
-        for size in SWEEP_PAGE_SIZES
+    if args.resume:
+        # Resuming names an existing sweep directory; its pickled cells
+        # are the workload, so no positional argument is needed.
+        args.sweep_id = args.resume
+        runner = _make_runner(args, force_coordinator=True)
+        sweep_dir = runner.cache.root / "sweeps" / args.resume
+        cells = load_cells(sweep_dir)
+    else:
+        if not args.workload:
+            print("a workload is required unless --resume is given",
+                  file=sys.stderr)
+            return 2
+        runner = _make_runner(args)
+        spec = workload_by_name(args.workload)
+        cells = [
+            SweepCell(spec, StaticPaging(size), seed=args.seed)
+            for size in SWEEP_PAGE_SIZES
+        ]
+    results = runner.run_cells(cells)
+
+    # The classic Figure 6 table when this is a pure page-size sweep;
+    # one generic line per cell otherwise (e.g. resuming a custom sweep).
+    static = all(isinstance(c.policy, StaticPaging) for c in cells)
+    workloads = {c.workload.abbr for c in cells}
+    by_size = {
+        c.policy.page_size: r
+        for c, r in zip(cells, results)
+        if isinstance(c.policy, StaticPaging) and r is not None
     }
-    baseline = results[65536]
-    print(f"{'size':>8s} {'perf/64KB':>10s} {'remote':>7s}")
-    for size, result in results.items():
-        print(
-            f"{size_label(size):>8s} "
-            f"{result.performance / baseline.performance:10.3f} "
-            f"{result.remote_ratio:7.3f}"
-        )
-    return 0
+    if static and len(workloads) == 1 and 65536 in by_size:
+        baseline = by_size[65536]
+        print(f"{'size':>8s} {'perf/64KB':>10s} {'remote':>7s}")
+        for size in sorted(by_size):
+            result = by_size[size]
+            print(
+                f"{size_label(size):>8s} "
+                f"{result.performance / baseline.performance:10.3f} "
+                f"{result.remote_ratio:7.3f}"
+            )
+    else:
+        print(f"{'workload':>10s} {'policy':20s} {'perf':>8s} {'remote':>7s}")
+        for cell, result in zip(cells, results):
+            if result is None:
+                continue
+            print(
+                f"{result.workload:>10s} {result.policy:20s} "
+                f"{result.performance:8.4f} {result.remote_ratio:7.3f}"
+            )
+    if runner.last_sweep_id is not None:
+        print(f"[sweep] id: {runner.last_sweep_id} "
+              f"(resume with: repro sweep --resume {runner.last_sweep_id})")
+    if runner.stats.cells:
+        print(runner.summary_line())
+    _print_failures(runner)
+    return 1 if runner.stats.failures else 0
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -358,10 +478,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(run_parser)
     _add_engine_flags(run_parser)
 
-    sweep_parser = sub.add_parser("sweep", help="Figure 6 page-size sweep")
-    sweep_parser.add_argument("workload")
+    sweep_parser = sub.add_parser(
+        "sweep",
+        help="Figure 6 page-size sweep (crash-safe and resumable with "
+             "--runners / --resume)",
+    )
+    sweep_parser.add_argument(
+        "workload", nargs="?",
+        help="workload abbreviation (omit with --resume)",
+    )
     sweep_parser.add_argument("--seed", type=int, default=7)
-    _add_engine_flags(sweep_parser)
+    sweep_parser.add_argument(
+        "--resume", default=None, metavar="SWEEP_ID",
+        help="resume the named coordinator sweep from its journal: "
+             "completed cells are adopted, the rest re-run",
+    )
+    _add_runner_flags(sweep_parser)
 
     exp_parser = sub.add_parser(
         "experiment", help="regenerate a paper figure/table"
@@ -384,7 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="run the repro-lint simulator-invariant static analysis "
-             "(RPR001-RPR005; see DESIGN.md section 8)",
+             "(RPR001-RPR006; see DESIGN.md section 8)",
     )
     from .analysis.cli import add_lint_arguments
 

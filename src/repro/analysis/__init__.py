@@ -7,7 +7,7 @@ has paid for in bugs (see DESIGN.md section 8):
   inline suppression, the ``run_lint`` driver;
 * :mod:`repro.analysis.baseline` — grandfathered-finding baseline;
 * :mod:`repro.analysis.rules` — the repo-specific rules
-  (``RPR001``…``RPR005``);
+  (``RPR001``…``RPR006``);
 * :mod:`repro.analysis.cli` — the ``python -m repro lint`` subcommand.
 """
 

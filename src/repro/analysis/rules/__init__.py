@@ -3,6 +3,7 @@
 from . import (  # noqa: F401
     cache_payload,
     determinism,
+    durable_writes,
     engine_parity,
     mutable_defaults,
     policy_contract,
@@ -11,6 +12,7 @@ from . import (  # noqa: F401
 __all__ = [
     "cache_payload",
     "determinism",
+    "durable_writes",
     "engine_parity",
     "mutable_defaults",
     "policy_contract",

@@ -1,0 +1,159 @@
+"""RPR006 — durable writes: crash-safety-critical files write atomically.
+
+The PR 7 bug class: ``ResultCache.put`` wrote entries with a bare
+``open(path, "w")`` — a SIGKILL (or full disk) mid-write left a torn
+entry that later parsed as garbage or, worse, as a truncated-but-valid
+JSON prefix.  The durability layer (:mod:`repro.sim.durability`) exists
+so that cannot happen: ``atomic_write()`` stages to a temp file, fsyncs
+and renames, and framed entries carry a CRC verified on read.
+
+The guarantee only holds if every durable artifact actually routes
+through it, so this rule bans the direct write APIs inside the modules
+that persist sweep state (result cache, journal, coordinator,
+telemetry):
+
+* builtin/``Path.open`` with a write-capable mode (``w``/``a``/``x``/
+  ``+``);
+* ``Path.write_bytes`` / ``Path.write_text``;
+* stream serializers that imply an open writable handle — ``json.dump``,
+  ``pickle.dump``, ``np.save``/``savez``/``savetxt``.
+
+``os.open`` with explicit flags stays allowed: it is how the journal's
+single-``write`` ``O_APPEND`` frames and ``atomic_write`` itself are
+built, and passing it a string mode is impossible.  Reads (default-mode
+``open``, ``"rb"``, ``read_bytes``) are untouched.  A justified
+exception takes an inline ``# repro-lint: ignore[RPR006]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Finding, Project, SourceFile, dotted_name, register
+
+#: Modules that persist sweep state and therefore must write atomically.
+#: ``sim/durability.py`` itself is deliberately absent: it implements
+#: the sanctioned mechanism (mkstemp + os.write + rename).
+DURABLE_FILES = (
+    "sim/parallel.py",
+    "sim/journal.py",
+    "sim/coordinator.py",
+    "sim/telemetry.py",
+    "__main__.py",
+)
+
+#: Stream/array serializers that write through an open handle or path.
+_DUMP_FUNCS = frozenset(
+    {
+        "json.dump",
+        "pickle.dump",
+        "np.save",
+        "np.savez",
+        "np.savez_compressed",
+        "np.savetxt",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "numpy.savetxt",
+    }
+)
+
+_WRITE_MODE_CHARS = set("wax+")
+
+
+def _finding(src: SourceFile, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        code="RPR006",
+        path=src.path,
+        rel=src.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _literal_mode(call: ast.Call) -> Optional[str]:
+    """The string-literal mode an ``open``-style call passes, if any."""
+    mode: Optional[str] = None
+    if len(call.args) >= 2:
+        arg = call.args[1]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            mode = arg.value
+    for kw in call.keywords:
+        if kw.arg == "mode":
+            if isinstance(kw.value, ast.Constant) and isinstance(
+                kw.value.value, str
+            ):
+                mode = kw.value.value
+    return mode
+
+
+def _is_write_open(call: ast.Call) -> Optional[str]:
+    """The offending mode when ``call`` opens a file for writing."""
+    name = dotted_name(call.func)
+    if name is None:
+        return None
+    head = name.split(".")[0]
+    last = name.split(".")[-1]
+    if last != "open" or head == "os":
+        # ``os.open`` takes integer flags; the journal's O_APPEND
+        # single-write frames and atomic_write's mkstemp path are built
+        # on it, so it is the sanctioned low-level escape hatch.
+        return None
+    mode = _literal_mode(call)
+    if mode is not None and _WRITE_MODE_CHARS & set(mode):
+        return mode
+    return None
+
+
+@register("RPR006", "durable-writes")
+def check_durable_writes(project: Project) -> Iterator[Finding]:
+    """Durable-state modules (result cache, journal, coordinator,
+    telemetry) must not write files directly — ``open(..., "w")``,
+    ``write_bytes``/``write_text``, ``json.dump``/``pickle.dump``/
+    ``np.save`` all bypass the torn-write protection of
+    ``repro.sim.durability.atomic_write()`` (PR 7 bug class)."""
+    for rel in DURABLE_FILES:
+        src = project.source(rel)
+        if src is None:
+            continue
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            mode = _is_write_open(node)
+            if mode is not None:
+                yield _finding(
+                    src,
+                    node,
+                    f"direct open(..., {mode!r}) in durable-state "
+                    "module: a crash mid-write leaves a torn file; "
+                    "route the write through "
+                    "repro.sim.durability.atomic_write()",
+                )
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            last = name.split(".")[-1]
+            if last in ("write_bytes", "write_text") and isinstance(
+                node.func, ast.Attribute
+            ):
+                yield _finding(
+                    src,
+                    node,
+                    f"{last}() in durable-state module is not "
+                    "crash-safe (no temp file, no fsync, no rename); "
+                    "route the write through "
+                    "repro.sim.durability.atomic_write()",
+                )
+                continue
+            if name in _DUMP_FUNCS:
+                yield _finding(
+                    src,
+                    node,
+                    f"{name}() streams into an open handle and cannot "
+                    "be torn-write-proof; serialize to bytes and "
+                    "persist them with "
+                    "repro.sim.durability.atomic_write()",
+                )

@@ -16,12 +16,25 @@ pool was rebuilt.  A directive makes the worker
   (a deterministic in-cell failure);
 * ``HANG`` — sleep past any reasonable cell timeout (a stuck worker);
 * ``DIE`` — ``os._exit`` mid-attempt (an OOM-killed / segfaulted worker,
-  which the parent observes as ``BrokenProcessPool``).
+  which the parent observes as ``BrokenProcessPool``);
+* ``DIE_HARD`` — SIGKILL yourself mid-attempt: no cleanup, no lease
+  release, no journal record — the failure mode the coordinator's
+  lease-expiry stealing exists for;
+* ``CORRUPT_WRITE`` — complete the cell, then tear or bit-flip its
+  just-written cache entry (:func:`corrupt_file`), exercising the
+  checksum-quarantine path in :class:`~repro.sim.parallel.ResultCache`;
+* ``STALE_LEASE`` — keep computing but stop renewing the cell's lease,
+  so a sibling runner observes an expired lease on a live process and
+  steals the cell (both finish; results are identical by determinism).
 
-When the runner executes an attempt in-process (serial mode, unpicklable
-cells, or the final serial-fallback attempt), ``HANG`` and ``DIE`` are
-downgraded to ``RAISE`` — chaos must never hang or kill the test process
-itself.
+``CORRUPT_WRITE`` and ``STALE_LEASE`` modulate the durability layer
+*around* the simulation rather than the simulation itself, so
+:func:`apply_chaos` treats them as pre-run no-ops; the coordinator
+runner (:mod:`repro.sim.coordinator`) interprets them at the
+appropriate points.  When the runner executes an attempt in-process
+(serial mode, unpicklable cells, or the final serial-fallback attempt),
+``HANG``, ``DIE`` and ``DIE_HARD`` are downgraded to ``RAISE`` — chaos
+must never hang or kill the test process itself.
 """
 
 from __future__ import annotations
@@ -29,7 +42,9 @@ from __future__ import annotations
 import enum
 import os
 import random
+import signal
 import time
+import zlib
 from dataclasses import dataclass
 from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple, Union
 
@@ -40,6 +55,7 @@ __all__ = [
     "ChaosDirective",
     "ChaosSchedule",
     "apply_chaos",
+    "corrupt_file",
 ]
 
 
@@ -49,6 +65,17 @@ class FaultKind(str, enum.Enum):
     RAISE = "raise"
     HANG = "hang"
     DIE = "die"
+    #: SIGKILL with no cleanup whatsoever (coordinator runners).
+    DIE_HARD = "die_hard"
+    #: finish the cell, then corrupt its on-disk cache entry.
+    CORRUPT_WRITE = "corrupt_write"
+    #: finish the cell but never renew its lease (heartbeat failure).
+    STALE_LEASE = "stale_lease"
+
+
+#: Kinds that are no-ops at attempt start; the coordinator interprets
+#: them around the durability layer instead.
+DEFERRED_KINDS = frozenset({FaultKind.CORRUPT_WRITE, FaultKind.STALE_LEASE})
 
 
 @dataclass(frozen=True)
@@ -67,7 +94,11 @@ def apply_chaos(
     if directive is None:
         return
     kind = directive.kind
-    if in_process and kind in (FaultKind.HANG, FaultKind.DIE):
+    if kind in DEFERRED_KINDS:
+        return
+    if in_process and kind in (
+        FaultKind.HANG, FaultKind.DIE, FaultKind.DIE_HARD
+    ):
         kind = FaultKind.RAISE
     if kind is FaultKind.RAISE:
         raise ChaosError(
@@ -81,9 +112,43 @@ def apply_chaos(
             "being killed — is the cell timeout enforced?",
             context={"kind": "hang"},
         )
+    if kind is FaultKind.DIE_HARD:
+        # SIGKILL: the process vanishes with no chance to release its
+        # lease or journal anything — only lease-TTL expiry and
+        # work-stealing can recover the cell.
+        os.kill(os.getpid(), signal.SIGKILL)
     # DIE: bypass every exception handler and atexit hook, exactly like
     # the kernel's OOM killer would.
     os._exit(13)
+
+
+def corrupt_file(path, salt: str = "") -> bool:
+    """Deterministically damage ``path``: bit-flip or truncate.
+
+    The damage mode and position derive purely from the file size and
+    ``salt`` (usually the cell tag), so a chaos run is exactly
+    repeatable: even ``salt`` hashes truncate the file to half its
+    length (a torn write), odd ones flip a single payload bit (bit
+    rot).  Returns False when the file is missing or empty — nothing
+    to corrupt.
+    """
+    try:
+        size = os.stat(path).st_size
+    except OSError:
+        return False
+    if size == 0:
+        return False
+    digest = zlib.crc32(salt.encode("utf-8")) & 0xFFFFFFFF
+    if digest % 2 == 0:
+        os.truncate(path, size // 2)
+        return True
+    position = digest % size
+    with open(path, "r+b") as fh:
+        fh.seek(position)
+        byte = fh.read(1)
+        fh.seek(position)
+        fh.write(bytes([byte[0] ^ 0x40]))
+    return True
 
 
 #: Plan entries accept enum members or their string values.

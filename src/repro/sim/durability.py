@@ -1,0 +1,147 @@
+"""Torn-write-proof persistence primitives.
+
+Every durable artifact the sweep machinery writes — result-cache
+entries, coordinator journals, telemetry dumps — goes through this
+module, because a sweep that survives SIGKILL (:mod:`repro.sim.
+coordinator`) is only as crash-safe as its weakest write.  Two
+primitives carry that guarantee:
+
+* :func:`atomic_write` — write-to-temp + flush + ``fsync`` + atomic
+  rename (plus a best-effort directory fsync), so a reader never
+  observes a half-written file and a crash between any two syscalls
+  leaves either the old contents or the new, never a mix;
+* checksummed *entries* (:func:`frame_entry` / :func:`parse_entry`) — a
+  one-line JSON header carrying the payload's length and CRC32 ahead of
+  the payload bytes, so truncation, bit rot and torn writes that slip
+  past the filesystem are detected on read and the entry can be
+  quarantined instead of silently poisoning a sweep.
+
+repro-lint rule RPR006 statically enforces the routing: durable-state
+modules may not call ``open(..., "w")`` / ``write_bytes`` / ``np.save``
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Dict, Tuple, Union
+
+__all__ = [
+    "atomic_write",
+    "frame_entry",
+    "parse_entry",
+    "EntryCorrupt",
+]
+
+
+def atomic_write(
+    path: Union[str, Path],
+    data: Union[bytes, str],
+    *,
+    fsync: bool = True,
+) -> None:
+    """Atomically replace ``path``'s contents with ``data``.
+
+    The data is written to a temporary file in the same directory,
+    flushed and fsynced, then renamed over ``path`` — the only durable
+    rename POSIX gives us.  A crash at any point leaves either the old
+    file or the complete new one.  ``fsync=False`` skips the syncs for
+    callers that only need atomicity (e.g. high-rate lease heartbeats
+    whose loss is recoverable by design).
+
+    Raises ``OSError`` on storage failure; callers with a degradation
+    path (the result cache) catch it, everyone else propagates.
+    """
+    target = Path(path)
+    payload = data.encode("utf-8") if isinstance(data, str) else data
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        try:
+            os.write(fd, payload)
+            if fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+        os.replace(tmp, target)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    if fsync:
+        _fsync_dir(target.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Best-effort fsync of ``directory`` so the rename itself is durable.
+
+    Some platforms/filesystems refuse to open directories; the rename is
+    still atomic there, just not guaranteed ordered against power loss.
+    """
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+class EntryCorrupt(ValueError):
+    """A framed entry failed validation (torn, truncated, or bit-rotten)."""
+
+
+def frame_entry(header: Dict[str, object], payload: bytes) -> bytes:
+    """Frame ``payload`` behind a header line carrying length + CRC32.
+
+    The returned bytes are ``<header-json>\\n<payload>`` where the header
+    is ``header`` plus ``length`` (payload byte count) and ``crc32``
+    (payload checksum).  ``header`` values must be JSON-native.
+    """
+    head = dict(header)
+    head["length"] = len(payload)
+    head["crc32"] = zlib.crc32(payload) & 0xFFFFFFFF
+    line = json.dumps(head, sort_keys=True, separators=(",", ":"))
+    return line.encode("utf-8") + b"\n" + payload
+
+
+def parse_entry(data: bytes) -> Tuple[Dict[str, object], bytes]:
+    """Validate and split a framed entry into (header, payload).
+
+    Raises :class:`EntryCorrupt` naming the failure when the header is
+    unparseable, the payload is shorter or longer than the header
+    declares (torn/truncated write), or the CRC32 does not match
+    (bit rot).
+    """
+    newline = data.find(b"\n")
+    if newline < 0:
+        raise EntryCorrupt("no header delimiter")
+    try:
+        header = json.loads(data[:newline].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise EntryCorrupt(f"unparseable header: {exc}") from None
+    if not isinstance(header, dict):
+        raise EntryCorrupt("header is not an object")
+    length = header.get("length")
+    crc = header.get("crc32")
+    if not isinstance(length, int) or not isinstance(crc, int):
+        raise EntryCorrupt("header missing length/crc32")
+    payload = data[newline + 1:]
+    if len(payload) != length:
+        raise EntryCorrupt(
+            f"payload is {len(payload)} bytes, header declares {length}"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise EntryCorrupt("payload CRC32 mismatch")
+    return header, payload

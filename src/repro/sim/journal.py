@@ -1,0 +1,159 @@
+"""Append-only, CRC-framed sweep journal with truncated-tail recovery.
+
+The coordinator (:mod:`repro.sim.coordinator`) records every cell
+completion, failure, steal and quarantine as one journal record, and a
+resumed sweep replays the journal to continue exactly where any prior
+run — crashed or killed — left off.  The format is built for that job:
+
+* each record is a frame ``<u32 length><u32 crc32><payload>`` (little
+  endian) where the payload is one JSON object;
+* appends are a single ``write(2)`` to a file opened ``O_APPEND``, so
+  concurrent runner processes (and, over a shared filesystem, runner
+  machines) interleave at frame granularity instead of corrupting each
+  other;
+* every append is fsynced by default — a record that was observed is a
+  record that survives power loss;
+* a process killed mid-append leaves a *torn tail*: an incomplete or
+  checksum-failing final frame.  :meth:`Journal.recover` detects it,
+  truncates the file back to the last good frame, and returns the valid
+  records — the at-most-one lost record is simply recomputed, never
+  half-trusted.
+
+Readers tail the journal incrementally with :meth:`Journal.read_from`,
+which stops cleanly at an incomplete tail (an in-flight append) and
+resumes from the same offset on the next poll.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+__all__ = ["Journal", "MAX_RECORD_BYTES"]
+
+_FRAME = struct.Struct("<II")  # payload length, payload crc32
+
+#: Upper bound on one record's payload; a length field beyond this is
+#: treated as frame corruption rather than an instruction to allocate.
+MAX_RECORD_BYTES = 1 << 20
+
+Record = Dict[str, object]
+
+
+class Journal:
+    """One append-only journal file of CRC32-framed JSON records."""
+
+    def __init__(
+        self, path: Union[str, Path], *, fsync: bool = True
+    ) -> None:
+        self.path = Path(path)
+        self.fsync = fsync
+
+    # --- writing ---
+
+    def append(self, record: Record) -> None:
+        """Durably append one record (a JSON-native dict).
+
+        The frame is issued as a single ``write`` on an ``O_APPEND``
+        descriptor, so concurrent appenders never interleave bytes
+        within a frame.
+        """
+        payload = json.dumps(
+            record, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        if len(payload) > MAX_RECORD_BYTES:
+            raise ValueError(
+                f"journal record of {len(payload)} bytes exceeds the "
+                f"{MAX_RECORD_BYTES}-byte frame bound"
+            )
+        frame = _FRAME.pack(
+            len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+        ) + payload
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(
+            str(self.path), os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+        )
+        try:
+            os.write(fd, frame)
+            if self.fsync:
+                os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    # --- reading ---
+
+    def read_from(self, offset: int) -> Tuple[List[Record], int, bool]:
+        """Records appended at/after byte ``offset``.
+
+        Returns ``(records, new_offset, clean)`` where ``new_offset``
+        is the position after the last *complete valid* frame and
+        ``clean`` is False when trailing bytes exist past it (either an
+        append in flight or a torn tail from a crash).  Callers tailing
+        a live journal simply poll again from ``new_offset``; recovery
+        callers use :meth:`recover` to truncate the tail instead.
+        """
+        try:
+            with open(self.path, "rb") as fh:
+                fh.seek(offset)
+                data = fh.read()
+        except FileNotFoundError:
+            return [], offset, True
+
+        records: List[Record] = []
+        pos = 0
+        total = len(data)
+        while True:
+            if pos + _FRAME.size > total:
+                break
+            length, crc = _FRAME.unpack_from(data, pos)
+            if length > MAX_RECORD_BYTES:
+                # Garbage length field: frame corruption, not a record.
+                break
+            end = pos + _FRAME.size + length
+            if end > total:
+                break
+            payload = data[pos + _FRAME.size:end]
+            if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+                break
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (ValueError, UnicodeDecodeError):
+                break
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+            pos = end
+        return records, offset + pos, pos == total
+
+    def replay(self) -> List[Record]:
+        """All valid records from the start (torn tail ignored)."""
+        records, _, _ = self.read_from(0)
+        return records
+
+    def recover(self) -> Tuple[List[Record], int]:
+        """Replay and repair: truncate any torn tail off the file.
+
+        Returns ``(records, dropped_bytes)``; after recovery the file
+        ends exactly at the last valid frame, so subsequent appends
+        produce a well-formed journal again.
+        """
+        records, good_offset, clean = self.read_from(0)
+        dropped = 0
+        if not clean:
+            try:
+                dropped = os.path.getsize(self.path) - good_offset
+                os.truncate(self.path, good_offset)
+            except OSError:
+                dropped = 0
+        return records, dropped
+
+    def size(self) -> int:
+        """Current byte length (0 when the file does not exist yet)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0

@@ -60,13 +60,13 @@ import os
 import pickle
 import random
 import shutil
-import tempfile
 import time
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import (
+    TYPE_CHECKING,
     Dict,
     Iterable,
     List,
@@ -83,16 +83,22 @@ from ..policies.contract import CAPABILITY_FLAGS
 from ..trace.suite import workload_by_name
 from ..trace.workload import WorkloadSpec
 from .chaos import ChaosDirective, ChaosSchedule, apply_chaos
+from .durability import EntryCorrupt, atomic_write, frame_entry, parse_entry
 from .results import SimResult
 from .runner import resolve_policy, run_workload
 from .telemetry import telemetry_enabled_by_env
 from .timing import TimingParams
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .coordinator import CoordinatorConfig
+
 #: Bump when the cache entry layout or :meth:`SimResult.to_dict` schema
 #: changes; old entries then miss and are re-simulated.  v2: SimResult
 #: gained ``faults_dropped``.  v3: SimResult gained ``telemetry``
 #: (always stored as None — see :meth:`SweepRunner._complete`).
-CACHE_SCHEMA_VERSION = 3
+#: v4: entries switched to the checksummed header+payload framing of
+#: :mod:`repro.sim.durability` (torn writes detected and quarantined).
+CACHE_SCHEMA_VERSION = 4
 
 _PRIMITIVES = (bool, int, float, str, type(None))
 
@@ -202,7 +208,14 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed on-disk store of :class:`SimResult` JSON.
+    """Content-addressed on-disk store of :class:`SimResult` entries.
+
+    Entries are checksummed (header line carrying length + CRC32 ahead
+    of the JSON payload, written via :func:`~repro.sim.durability.
+    atomic_write`) and verified on every read: a torn, truncated or
+    bit-flipped entry is *quarantined* — moved to ``<root>/corrupt/``
+    with one warning — and reported as a miss, so corruption is
+    recomputed instead of crashing a sweep or silently poisoning it.
 
     Storage failures never fail the sweep: the first ``OSError`` on a
     write (read-only cache dir, disk full) emits one warning and flips
@@ -214,24 +227,82 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_dir()
         #: set after the first failed write; no further writes attempted
         self.write_disabled = False
+        #: corrupt entries moved aside by this instance (monotonic)
+        self.quarantined = 0
+        self._quarantine_warned = False
 
     def path_for(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where verification failures are moved for post-mortems."""
+        return self.root / "corrupt"
+
     def get(self, key: str) -> Optional[SimResult]:
-        """The cached result for ``key``, or None (corrupt files miss)."""
+        """The cached result for ``key``, or None.
+
+        Old-schema entries are plain misses; entries failing checksum
+        or decode verification are quarantined misses.
+        """
         path = self.path_for(key)
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                entry = json.load(fh)
-            if entry.get("schema") != CACHE_SCHEMA_VERSION:
+            data = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            header, payload = parse_entry(data)
+        except EntryCorrupt as exc:
+            # Pre-v4 entries were a single JSON document with no header
+            # line; recognise them as a schema miss, not corruption.
+            if self._is_legacy_entry(data):
                 return None
-            return SimResult.from_dict(entry["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+            self._quarantine(path, str(exc))
+            return None
+        if header.get("schema") != CACHE_SCHEMA_VERSION:
+            return None
+        try:
+            return SimResult.from_dict(json.loads(payload.decode("utf-8")))
+        except (ValueError, KeyError, TypeError) as exc:
+            # The checksum passed but the payload does not decode: the
+            # entry lies about itself — quarantine rather than trust it.
+            self._quarantine(path, f"undecodable payload: {exc}")
             return None
 
+    @staticmethod
+    def _is_legacy_entry(data: bytes) -> bool:
+        try:
+            entry = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            return False
+        return isinstance(entry, dict) and "schema" in entry
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed entry to ``corrupt/`` (fall back to deleting)."""
+        self.quarantined += 1
+        dest = self.corrupt_dir / path.name
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                dest = self.corrupt_dir / f"{path.name}.{self.quarantined}"
+            os.replace(path, dest)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if not self._quarantine_warned:
+            self._quarantine_warned = True
+            warnings.warn(
+                f"quarantined corrupt result-cache entry {path.name} "
+                f"({reason}) to {self.corrupt_dir}; it will be "
+                "recomputed",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
     def put(self, key: str, result: SimResult) -> None:
-        """Store ``result`` atomically (write-to-temp, then rename).
+        """Store ``result`` durably (checksummed, tmp + fsync + rename).
 
         A failed write degrades the cache (see class docstring) instead
         of raising.
@@ -250,22 +321,9 @@ class ResultCache:
             )
 
     def _put(self, key: str, result: SimResult) -> None:
-        path = self.path_for(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"schema": CACHE_SCHEMA_VERSION, "result": result.to_dict()}
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh)
-            os.replace(tmp, path)
-        except BaseException:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        payload = json.dumps(result.to_dict()).encode("utf-8")
+        entry = frame_entry({"schema": CACHE_SCHEMA_VERSION}, payload)
+        atomic_write(self.path_for(key), entry)
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
@@ -382,6 +440,14 @@ class SweepStats:
     deduped: int = 0
     retries: int = 0
     timeouts: int = 0
+    #: cells recovered from a coordinator sweep journal on resume
+    #: (their results were completed by a previous — possibly killed —
+    #: run and verified in the cache)
+    cells_resumed: int = 0
+    #: expired leases taken over from dead or stalled runners
+    leases_stolen: int = 0
+    #: corrupt cache entries moved to ``corrupt/`` and recomputed
+    entries_quarantined: int = 0
     wall_seconds: float = 0.0
     failures: List[CellFailure] = dataclasses.field(default_factory=list)
 
@@ -405,6 +471,12 @@ class SweepStats:
             parts.append(f"{self.retries} retries")
         if self.timeouts:
             parts.append(f"{self.timeouts} timeouts")
+        if self.cells_resumed:
+            parts.append(f"{self.cells_resumed} resumed from journal")
+        if self.leases_stolen:
+            parts.append(f"{self.leases_stolen} leases stolen")
+        if self.entries_quarantined:
+            parts.append(f"{self.entries_quarantined} quarantined")
         if self.failures:
             parts.append(f"{self.failed} failed")
         parts.append(f"{self.wall_seconds:.1f}s wall")
@@ -498,6 +570,15 @@ class SweepRunner:
     chaos:
         Optional :class:`~repro.sim.chaos.ChaosSchedule` injecting
         faults by cell tag (tests only).
+    coordinator:
+        A :class:`~repro.sim.coordinator.CoordinatorConfig` switches
+        cell execution to the lease-based work-stealing coordinator:
+        N independent runner processes claim cells via short-TTL lease
+        files, steal cells from dead runners, and journal completions
+        so ``--resume`` continues a killed sweep exactly where it left
+        off (see :mod:`repro.sim.coordinator`).  Requires the result
+        cache (it is the rendezvous point) and is mutually exclusive
+        with telemetry recording.
     telemetry, telemetry_dir:
         ``telemetry=True`` (default: the ``REPRO_TELEMETRY`` env flag)
         records per-stage telemetry for every cell and dumps one JSON
@@ -521,6 +602,7 @@ class SweepRunner:
         backoff_cap: float = 4.0,
         backoff_seed: int = 0,
         chaos: Optional[ChaosSchedule] = None,
+        coordinator: Optional["CoordinatorConfig"] = None,
         telemetry: Optional[bool] = None,
         telemetry_dir: Optional[Union[str, Path]] = None,
     ) -> None:
@@ -545,6 +627,21 @@ class SweepRunner:
         self.backoff_cap = backoff_cap
         self.backoff_seed = backoff_seed
         self.chaos = chaos
+        self.coordinator = coordinator
+        #: set after a coordinator run: the (possibly derived) sweep id
+        #: a later ``--resume`` can name
+        self.last_sweep_id: Optional[str] = None
+        if coordinator is not None:
+            if self.cache is None:
+                raise ValueError(
+                    "coordinator mode requires the result cache: it is "
+                    "the rendezvous point runners share"
+                )
+            if self.telemetry:
+                raise ValueError(
+                    "coordinator mode cannot record telemetry (results "
+                    "travel through the telemetry-free result cache)"
+                )
         self.stats = SweepStats()
         #: injectable for tests: how retry backoff actually waits
         self._sleep = time.sleep
@@ -565,6 +662,9 @@ class SweepRunner:
         every returned entry is a :class:`SimResult`.
         """
         start = time.perf_counter()
+        quarantined_at_start = (
+            self.cache.quarantined if self.cache is not None else 0
+        )
         cells = [
             c if isinstance(c, SweepCell) else SweepCell(*c) for c in cells
         ]
@@ -582,7 +682,13 @@ class SweepRunner:
                 continue
             # Cached results carry no telemetry, so a telemetry sweep
             # re-simulates everything to produce its per-cell dumps.
-            if self.cache is not None and not self.telemetry:
+            # Coordinator mode classifies its own cache hits (journaled
+            # completions count as resumed cells, not plain hits).
+            if (
+                self.cache is not None
+                and not self.telemetry
+                and self.coordinator is None
+            ):
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = hit
@@ -600,6 +706,10 @@ class SweepRunner:
             # for the batch: completed cells are already in the cache.
             self.stats.cells += len(cells)
             self.stats.wall_seconds += time.perf_counter() - start
+            if self.cache is not None:
+                self.stats.entries_quarantined += (
+                    self.cache.quarantined - quarantined_at_start
+                )
 
         # Fan shared results back out to duplicate cells.
         for i, key in enumerate(keys):
@@ -614,6 +724,13 @@ class SweepRunner:
         pending: List[int],
         results: List[Optional[SimResult]],
     ) -> None:
+        if self.coordinator is not None:
+            from .coordinator import Coordinator
+
+            coordinator = Coordinator(self.coordinator, self)
+            coordinator.run(cells, keys, pending, results)
+            self.last_sweep_id = coordinator.sweep_id
+            return
         pending = self._run_fused_groups(cells, keys, pending, results)
         pool_indices: List[int] = []
         serial_indices: List[int] = []
@@ -985,9 +1102,7 @@ class SweepRunner:
         }
         path = self.telemetry_dir / f"{result.workload}-{result.policy}-{key[:12]}.json"
         try:
-            self.telemetry_dir.mkdir(parents=True, exist_ok=True)
-            with open(path, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, indent=2)
+            atomic_write(path, json.dumps(payload, indent=2), fsync=False)
         except OSError as exc:
             self._telemetry_write_disabled = True
             warnings.warn(

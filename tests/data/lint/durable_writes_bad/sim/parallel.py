@@ -1,0 +1,40 @@
+"""Bad fixture: durable-state module writing files directly."""
+
+import json
+import pickle
+
+import numpy as np
+
+
+def put_entry(path, payload):
+    # Torn-write hazard: crash between open and close leaves garbage.
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(payload)
+
+
+def put_entry_binary(path, blob):
+    path.write_bytes(blob)
+
+
+def dump_note(path, note):
+    path.write_text(note)
+
+
+def append_log(path, line):
+    with open(path, mode="ab") as fh:
+        fh.write(line)
+
+
+def dump_stream(path, record):
+    with open(path) as fh:  # read-mode open: not flagged
+        fh.read()
+    with open(path, "r+b") as fh:
+        pickle.dump(record, fh)
+
+
+def dump_json(fh, record):
+    json.dump(record, fh)
+
+
+def save_array(path, arr):
+    np.save(path, arr)

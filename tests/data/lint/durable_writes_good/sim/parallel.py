@@ -1,0 +1,33 @@
+"""Good fixture: durable-state module routing writes atomically."""
+
+import json
+import os
+
+from repro.sim.durability import atomic_write
+
+
+def put_entry(path, payload):
+    atomic_write(path, payload)
+
+
+def put_record(path, record):
+    atomic_write(path, json.dumps(record))
+
+
+def read_entry(path):
+    # Reads are untouched: default mode and explicit "rb" are fine.
+    with open(path) as fh:
+        head = fh.readline()
+    with open(path, "rb") as fh:
+        body = fh.read()
+    return head, body
+
+
+def append_frame(path, frame):
+    # os.open with explicit flags is the sanctioned low-level escape
+    # hatch (single-write O_APPEND journal frames).
+    fd = os.open(str(path), os.O_WRONLY | os.O_CREAT | os.O_APPEND)
+    try:
+        os.write(fd, frame)
+    finally:
+        os.close(fd)

@@ -1,0 +1,6 @@
+"""Not a durable-state module: direct writes here are out of scope."""
+
+
+def jot(path, text):
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)

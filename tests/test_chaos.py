@@ -17,7 +17,14 @@ import time
 import pytest
 
 from repro.errors import ChaosError, SweepError
-from repro.sim.chaos import ChaosDirective, ChaosSchedule, FaultKind, apply_chaos
+from repro.sim.chaos import (
+    DEFERRED_KINDS,
+    ChaosDirective,
+    ChaosSchedule,
+    FaultKind,
+    apply_chaos,
+    corrupt_file,
+)
 from repro.sim.parallel import (
     CellFailure,
     OnError,
@@ -267,13 +274,73 @@ class TestChaosHarness:
         assert 0 < len(a) < len(tags)
 
     def test_in_process_chaos_never_hangs_or_kills(self):
-        """HANG and DIE downgrade to ChaosError in-process, so serial
-        fallback attempts cannot take down (or stall) the parent."""
-        for kind in (FaultKind.HANG, FaultKind.DIE):
+        """HANG, DIE and DIE_HARD downgrade to ChaosError in-process, so
+        serial fallback attempts cannot take down (or stall) the parent."""
+        for kind in (FaultKind.HANG, FaultKind.DIE, FaultKind.DIE_HARD):
             with pytest.raises(ChaosError):
                 apply_chaos(
                     ChaosDirective(kind, hang_seconds=60.0), in_process=True
                 )
+
+    def test_fault_kind_wire_values_are_stable(self):
+        """The string values travel through journals and CLI flags:
+        renaming one silently breaks saved chaos plans."""
+        assert FaultKind.DIE_HARD.value == "die_hard"
+        assert FaultKind.CORRUPT_WRITE.value == "corrupt_write"
+        assert FaultKind.STALE_LEASE.value == "stale_lease"
+        assert FaultKind("die_hard") is FaultKind.DIE_HARD
+
+    def test_deferred_kinds_are_noops_in_apply_chaos(self):
+        """CORRUPT_WRITE and STALE_LEASE act at the coordinator layer
+        (after the result exists / around lease renewal); the worker
+        entry point must pass them through untouched."""
+        for kind in DEFERRED_KINDS:
+            apply_chaos(ChaosDirective(kind))  # must not raise or exit
+            apply_chaos(ChaosDirective(kind), in_process=True)
+
+
+class TestCorruptFile:
+    """``corrupt_file`` damage is a pure function of (size, salt), so a
+    corruption chaos run replays bit-for-bit."""
+
+    PAYLOAD = bytes(range(251)) * 4  # 1004 bytes, no repeats at scale
+
+    def test_even_salt_truncates_to_half(self, tmp_path):
+        # crc32("truncate-me") is even -> torn-write mode.
+        path = tmp_path / "entry"
+        path.write_bytes(self.PAYLOAD)
+        assert corrupt_file(path, salt="truncate-me")
+        assert path.read_bytes() == self.PAYLOAD[: len(self.PAYLOAD) // 2]
+
+    def test_odd_salt_flips_one_bit(self, tmp_path):
+        # crc32("flip") is odd -> bit-rot mode.
+        path = tmp_path / "entry"
+        path.write_bytes(self.PAYLOAD)
+        assert corrupt_file(path, salt="flip")
+        damaged = path.read_bytes()
+        assert len(damaged) == len(self.PAYLOAD)
+        diffs = [
+            i for i, (a, b) in enumerate(zip(damaged, self.PAYLOAD))
+            if a != b
+        ]
+        assert len(diffs) == 1
+        assert damaged[diffs[0]] == self.PAYLOAD[diffs[0]] ^ 0x40
+
+    def test_same_salt_same_damage(self, tmp_path):
+        damaged = []
+        for name in ("one", "two"):
+            path = tmp_path / name
+            path.write_bytes(self.PAYLOAD)
+            assert corrupt_file(path, salt="flip")
+            damaged.append(path.read_bytes())
+        assert damaged[0] == damaged[1]
+
+    def test_missing_and_empty_files_are_not_corruptible(self, tmp_path):
+        assert not corrupt_file(tmp_path / "absent")
+        empty = tmp_path / "empty"
+        empty.touch()
+        assert not corrupt_file(empty, salt="flip")
+        assert empty.read_bytes() == b""
 
     def test_serial_runner_survives_die_directives(self):
         chaos = ChaosSchedule({"c00": ("die",) * 9})

@@ -1,0 +1,413 @@
+"""Crash-safe distributed sweeps (``repro.sim.coordinator``).
+
+The coordinator's contract: shard a sweep across independent runner
+processes with lease-based work stealing, journal every completion, and
+make any interrupted run — including SIGKILL of the whole process group
+— resumable to bit-identical final results.  The e2e tests here kill a
+real coordinator sweep at deterministic completion counts and require
+the resume to produce exactly what an uninterrupted run produces.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SweepError
+from repro.sim.chaos import ChaosSchedule, FaultKind
+from repro.sim.coordinator import (
+    CoordinatorConfig,
+    _acquire_lease,
+    _release_lease,
+    derive_sweep_id,
+    load_cells,
+)
+from repro.sim.journal import Journal
+from repro.sim.parallel import SweepCell, SweepRunner, cell_fingerprint
+from repro.units import MB
+
+from .conftest import make_spec, partitioned
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_DIR = REPO_ROOT / "src"
+
+#: Cells sized so one takes a few tens of milliseconds: slow enough to
+#: SIGKILL a sweep mid-flight at a chosen completion count, fast enough
+#: to keep the suite snappy.
+CELL_COUNT = 24
+
+
+def coord_cells(count=CELL_COUNT):
+    return [
+        SweepCell(
+            make_spec(
+                partitioned(size=16 * MB, waves=3, lines_per_touch=4),
+                abbr=f"K{i:02d}",
+            ),
+            "S-64KB",
+            seed=i,
+            tag=f"c{i:02d}",
+        )
+        for i in range(count)
+    ]
+
+
+def coord_runner(cache_dir, **kwargs):
+    config_kwargs = {
+        "runners": kwargs.pop("runners", 2),
+        "lease_ttl": kwargs.pop("lease_ttl", 5.0),
+        "sweep_id": kwargs.pop("sweep_id", None),
+    }
+    kwargs.setdefault("jobs", 1)
+    kwargs.setdefault("telemetry", False)
+    kwargs.setdefault("backoff_base", 0.01)
+    return SweepRunner(
+        cache_dir=cache_dir,
+        coordinator=CoordinatorConfig(**config_kwargs),
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Uninterrupted pool-mode results for the standard cell set."""
+    cache = tmp_path_factory.mktemp("reference-cache")
+    runner = SweepRunner(jobs=4, cache_dir=cache, telemetry=False)
+    return runner.run_cells(coord_cells())
+
+
+# ----------------------------------------------------- basic equivalence
+
+
+class TestCoordinatorEquivalence:
+    def test_matches_pool_results_bit_identically(self, tmp_path, reference):
+        runner = coord_runner(tmp_path / "cache")
+        results = runner.run_cells(coord_cells())
+        assert results == reference
+        assert runner.stats.simulated == CELL_COUNT
+        assert runner.stats.cells_resumed == 0
+        assert runner.last_sweep_id is not None
+
+    def test_second_run_resumes_everything(self, tmp_path, reference):
+        cells = coord_cells(6)
+        coord_runner(tmp_path / "cache").run_cells(cells)
+        again = coord_runner(tmp_path / "cache")
+        results = again.run_cells(cells)
+        assert results == reference[:6]
+        assert again.stats.cells_resumed == 6
+        assert again.stats.simulated == 0
+
+    def test_prewarmed_cache_counts_as_hits_not_resume(self, tmp_path):
+        cells = coord_cells(5)
+        plain = SweepRunner(jobs=1, cache_dir=tmp_path / "cache",
+                            telemetry=False)
+        expected = plain.run_cells(cells)
+        runner = coord_runner(tmp_path / "cache")
+        results = runner.run_cells(cells)
+        assert results == expected
+        assert runner.stats.cache_hits == 5
+        assert runner.stats.cells_resumed == 0
+        assert runner.stats.simulated == 0
+
+    def test_requires_cache_and_rejects_telemetry(self, tmp_path):
+        with pytest.raises(ValueError, match="requires the result cache"):
+            SweepRunner(use_cache=False, coordinator=CoordinatorConfig())
+        with pytest.raises(ValueError, match="telemetry"):
+            SweepRunner(cache_dir=tmp_path, telemetry=True,
+                        coordinator=CoordinatorConfig())
+
+
+# ------------------------------------------------------ sweep identity
+
+
+class TestSweepIdentity:
+    def test_derived_id_is_content_addressed(self, tmp_path):
+        cells = coord_cells(4)
+        keys = [cell_fingerprint(c) for c in cells]
+        assert derive_sweep_id(keys) == derive_sweep_id(list(reversed(keys)))
+        assert derive_sweep_id(keys) != derive_sweep_id(keys[:3])
+
+    def test_same_id_different_cells_rejected(self, tmp_path):
+        coord_runner(tmp_path / "cache", sweep_id="fixed").run_cells(
+            coord_cells(3)
+        )
+        clashing = coord_runner(tmp_path / "cache", sweep_id="fixed")
+        with pytest.raises(SweepError, match="different sweep"):
+            clashing.run_cells(coord_cells(5))
+
+    def test_load_cells_round_trip_and_missing_dir(self, tmp_path):
+        cells = coord_cells(3)
+        runner = coord_runner(tmp_path / "cache", sweep_id="trip")
+        runner.run_cells(cells)
+        sweep_dir = tmp_path / "cache" / "sweeps" / "trip"
+        loaded = load_cells(sweep_dir)
+        assert [cell_fingerprint(c) for c in loaded] == [
+            cell_fingerprint(c) for c in cells
+        ]
+        with pytest.raises(SweepError, match="cells.pkl"):
+            load_cells(tmp_path / "cache" / "sweeps" / "nope")
+
+
+# ------------------------------------------------------------- leases
+
+
+class TestLeases:
+    def test_acquire_is_exclusive(self, tmp_path):
+        first = _acquire_lease(tmp_path, "k1", "r0:1", ttl=30.0)
+        assert first is not None and first.stolen_from is None
+        assert _acquire_lease(tmp_path, "k1", "r1:2", ttl=30.0) is None
+
+    def test_release_frees_the_cell(self, tmp_path):
+        claim = _acquire_lease(tmp_path, "k1", "r0:1", ttl=30.0)
+        _release_lease(claim)
+        again = _acquire_lease(tmp_path, "k1", "r1:2", ttl=30.0)
+        assert again is not None and again.stolen_from is None
+
+    def test_expired_lease_is_stolen_with_attribution(self, tmp_path):
+        claim = _acquire_lease(tmp_path, "k1", "r0:1", ttl=0.05)
+        assert claim is not None
+        time.sleep(0.1)
+        theft = _acquire_lease(tmp_path, "k1", "r1:2", ttl=0.05)
+        assert theft is not None
+        assert theft.stolen_from == "r0:1"
+
+    def test_release_tolerates_theft(self, tmp_path):
+        claim = _acquire_lease(tmp_path, "k1", "r0:1", ttl=0.05)
+        time.sleep(0.1)
+        theft = _acquire_lease(tmp_path, "k1", "r1:2", ttl=30.0)
+        assert theft is not None
+        # The original holder releasing must not free the thief's lease.
+        _release_lease(claim)
+        assert _acquire_lease(tmp_path, "k1", "r2:3", ttl=30.0) is None
+
+    def test_fresh_unwritten_lease_not_stolen(self, tmp_path):
+        # An empty lease file (creator raced between create and write)
+        # falls back to mtime — and a just-created file is fresh.
+        path = tmp_path / "k1.lease"
+        path.touch()
+        assert _acquire_lease(tmp_path, "k1", "r1:2", ttl=30.0) is None
+
+
+# ------------------------------------------ chaos through the coordinator
+
+
+class TestCoordinatorChaos:
+    def test_die_hard_runner_is_stolen_from(self, tmp_path, reference):
+        cells = coord_cells(8)
+        chaos = ChaosSchedule({"c02": (FaultKind.DIE_HARD,)})
+        runner = coord_runner(tmp_path / "cache", chaos=chaos,
+                              lease_ttl=1.0, on_error="retry")
+        results = runner.run_cells(cells)
+        assert results == reference[:8]
+        assert runner.stats.leases_stolen >= 1
+
+    def test_stale_lease_stolen_results_identical(self, tmp_path, reference):
+        cells = coord_cells(6)
+        chaos = ChaosSchedule({"c01": (FaultKind.STALE_LEASE,)})
+        runner = coord_runner(tmp_path / "cache", chaos=chaos,
+                              lease_ttl=0.5, on_error="retry")
+        results = runner.run_cells(cells)
+        assert results == reference[:6]
+        assert runner.stats.leases_stolen >= 1
+
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_corrupt_write_quarantined_and_recomputed(
+        self, tmp_path, reference
+    ):
+        cells = coord_cells(6)
+        chaos = ChaosSchedule({"c03": (FaultKind.CORRUPT_WRITE,)})
+        runner = coord_runner(tmp_path / "cache", chaos=chaos,
+                              on_error="retry")
+        results = runner.run_cells(cells)
+        # The corrupt entry is never returned: the final result is the
+        # recomputed, verified one, identical to the reference.
+        assert results == reference[:6]
+        assert runner.stats.entries_quarantined >= 1
+        corrupt_dir = tmp_path / "cache" / "corrupt"
+        assert corrupt_dir.is_dir() and any(corrupt_dir.iterdir())
+
+    def test_persistent_failure_recorded_as_cellfailure(self, tmp_path):
+        cells = coord_cells(4)
+        chaos = ChaosSchedule(
+            {"c02": (FaultKind.RAISE, FaultKind.RAISE, FaultKind.RAISE)}
+        )
+        runner = coord_runner(tmp_path / "cache", chaos=chaos,
+                              on_error="retry", max_attempts=3)
+        results = runner.run_cells(cells)
+        assert results[2] is None
+        assert [r is not None for r in results] == [True, True, False, True]
+        assert len(runner.stats.failures) == 1
+        failure = runner.stats.failures[0]
+        assert failure.tag == "c02" and failure.attempts == 3
+        assert "ChaosError" in failure.error
+
+    def test_failure_under_raise_aborts_with_sweep_error(self, tmp_path):
+        cells = coord_cells(3)
+        chaos = ChaosSchedule({"c01": (FaultKind.RAISE,)})
+        runner = coord_runner(tmp_path / "cache", chaos=chaos,
+                              on_error="raise")
+        with pytest.raises(SweepError, match="injected raise"):
+            runner.run_cells(cells)
+
+    def test_resume_retries_previously_failed_cells(self, tmp_path,
+                                                    reference):
+        cells = coord_cells(4)
+        chaos = ChaosSchedule(
+            {"c02": (FaultKind.RAISE, FaultKind.RAISE, FaultKind.RAISE)}
+        )
+        first = coord_runner(tmp_path / "cache", sweep_id="retry-me",
+                             chaos=chaos, on_error="retry", max_attempts=3)
+        assert first.run_cells(cells)[2] is None
+        # Resuming without the chaos schedule: the failed cell gets a
+        # fresh attempt budget and completes this time.
+        second = coord_runner(tmp_path / "cache", sweep_id="retry-me",
+                              on_error="retry", max_attempts=3)
+        results = second.run_cells(cells)
+        assert results == reference[:4]
+        assert second.stats.cells_resumed == 3
+        assert second.stats.simulated == 1
+
+
+# ---------------------------------------------- SIGKILL + resume (e2e)
+
+
+KILL_SCRIPT = textwrap.dedent(
+    """
+    import sys
+    sys.path.insert(0, {src!r})
+    sys.path.insert(0, {root!r})
+    from tests.test_coordinator import coord_cells, coord_runner
+    runner = coord_runner({cache!r}, sweep_id={sweep_id!r},
+                          runners=2, lease_ttl=2.0)
+    runner.run_cells(coord_cells())
+    """
+)
+
+
+def _count_done(journal_path):
+    if not journal_path.exists():
+        return 0
+    records, _, _ = Journal(journal_path).read_from(0)
+    return sum(1 for r in records if r.get("kind") == "done")
+
+
+def _run_and_kill_at(cache_dir, sweep_id, kill_after, timeout=120.0):
+    """Start a coordinator sweep in its own process group and SIGKILL
+    the whole group once ``kill_after`` cells are journaled done."""
+    script = KILL_SCRIPT.format(
+        src=str(SRC_DIR), root=str(REPO_ROOT),
+        cache=str(cache_dir), sweep_id=sweep_id,
+    )
+    journal_path = cache_dir / "sweeps" / sweep_id / "journal.bin"
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        start_new_session=True,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + timeout
+    try:
+        while time.monotonic() < deadline:
+            if _count_done(journal_path) >= kill_after:
+                break
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"sweep finished before reaching {kill_after} "
+                    "completions; enlarge the cells"
+                )
+            time.sleep(0.002)
+        else:
+            raise AssertionError("sweep never reached the kill point")
+        os.killpg(proc.pid, signal.SIGKILL)
+    finally:
+        proc.wait(timeout=30)
+
+
+@pytest.mark.parametrize("kill_after", [2, 6, 12])
+def test_sigkill_then_resume_is_bit_identical(
+    tmp_path, reference, kill_after
+):
+    """Kill a 2-runner sweep (runners included) at a deterministic
+    completion count; resuming finishes it with results bit-identical
+    to an uninterrupted run and >0 cells adopted from the journal."""
+    cache = tmp_path / "cache"
+    sweep_id = f"kill-{kill_after}"
+    _run_and_kill_at(cache, sweep_id, kill_after)
+
+    resumed = coord_runner(cache, sweep_id=sweep_id, lease_ttl=2.0)
+    results = resumed.run_cells(coord_cells())
+    assert results == reference
+    assert resumed.stats.cells_resumed >= kill_after
+    assert resumed.stats.cells_resumed < CELL_COUNT
+    assert resumed.stats.simulated > 0
+    assert (
+        resumed.stats.cells_resumed + resumed.stats.simulated == CELL_COUNT
+    )
+
+    # Double resume: idempotent, everything adopted, nothing re-run.
+    again = coord_runner(cache, sweep_id=sweep_id, lease_ttl=2.0)
+    assert again.run_cells(coord_cells()) == results
+    assert again.stats.cells_resumed == CELL_COUNT
+    assert again.stats.simulated == 0
+
+
+def test_resume_recovers_torn_journal_tail(tmp_path, reference):
+    """A crash mid-append leaves a torn tail; resume truncates it and
+    recomputes only the lost record's cell."""
+    cells = coord_cells(5)
+    runner = coord_runner(tmp_path / "cache", sweep_id="torn")
+    results = runner.run_cells(cells)
+    journal_path = tmp_path / "cache" / "sweeps" / "torn" / "journal.bin"
+    size = journal_path.stat().st_size
+    os.truncate(journal_path, size - 7)  # tear the final record
+
+    resumed = coord_runner(tmp_path / "cache", sweep_id="torn")
+    assert resumed.run_cells(cells) == results == reference[:5]
+    assert resumed.stats.cells_resumed + resumed.stats.cache_hits == 5
+
+
+def test_cli_sweep_kill_and_resume(tmp_path):
+    """The user-facing flow: ``repro sweep --runners`` killed with
+    SIGKILL, continued by ``repro sweep --resume <id>``."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+    args = [sys.executable, "-m", "repro", "sweep", "LPS",
+            "--runners", "2", "--sweep-id", "cli-kill", "--jobs", "1",
+            "--lease-ttl", "2"]
+    journal_path = (
+        tmp_path / "cache" / "sweeps" / "cli-kill" / "journal.bin"
+    )
+    proc = subprocess.Popen(args, env=env, start_new_session=True,
+                            stdout=subprocess.DEVNULL,
+                            stderr=subprocess.DEVNULL)
+    deadline = time.monotonic() + 120.0
+    killed = False
+    try:
+        while time.monotonic() < deadline:
+            if _count_done(journal_path) >= 1:
+                os.killpg(proc.pid, signal.SIGKILL)
+                killed = True
+                break
+            if proc.poll() is not None:
+                break
+            time.sleep(0.002)
+    finally:
+        proc.wait(timeout=30)
+
+    resume = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--resume", "cli-kill",
+         "--jobs", "1", "--lease-ttl", "2"],
+        env=env, capture_output=True, text=True, timeout=300,
+    )
+    assert resume.returncode == 0, resume.stdout + resume.stderr
+    assert "perf/64KB" in resume.stdout
+    if killed:
+        assert "resumed from journal" in resume.stdout

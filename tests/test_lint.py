@@ -51,7 +51,7 @@ def messages(findings):
 # ---------------------------------------------------------------- registry
 
 
-def test_all_five_rules_registered():
+def test_all_six_rules_registered():
     rules = all_rules()
     assert sorted(rules) == [
         "RPR001",
@@ -59,6 +59,7 @@ def test_all_five_rules_registered():
         "RPR003",
         "RPR004",
         "RPR005",
+        "RPR006",
     ]
     for rule in rules.values():
         assert rule.doc, f"{rule.code} has no docstring description"
@@ -178,6 +179,30 @@ def test_policy_contract_bad_fixture_fires():
 def test_policy_contract_good_fixture_clean():
     # StaticPolicy satisfies the contract through inheritance.
     assert lint_fixture("policy_contract_good", select=["RPR005"]) == []
+
+
+# -------------------------------------------------- RPR006 durable writes
+
+
+def test_durable_writes_bad_fixture_fires():
+    findings = lint_fixture("durable_writes_bad", select=["RPR006"])
+    assert codes(findings) == ["RPR006"]
+    text = messages(findings)
+    assert "direct open(..., 'w')" in text
+    assert "direct open(..., 'ab')" in text
+    assert "write_bytes()" in text and "write_text()" in text
+    assert "json.dump()" in text and "pickle.dump()" in text
+    assert "np.save()" in text
+    assert "atomic_write()" in text
+    # open "w", write_bytes, write_text, open mode="ab", open "r+b",
+    # pickle.dump, json.dump, np.save; the read-mode opens are clean.
+    assert len(findings) == 8
+
+
+def test_durable_writes_good_fixture_clean():
+    # atomic_write routing, read-mode opens and the os.open O_APPEND
+    # escape hatch are all fine — as are writes outside durable files.
+    assert lint_fixture("durable_writes_good", select=["RPR006"]) == []
 
 
 # ------------------------------------------------- suppression and walking
@@ -322,7 +347,8 @@ def test_cli_missing_path_exits_two():
 def test_cli_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
-    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+    for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
+                 "RPR006"):
         assert code in proc.stdout
 
 
@@ -478,3 +504,20 @@ def test_mypy_strict_modules_pass():
         cwd=str(REPO_ROOT),
     )
     assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+def test_torn_cache_write_reintroduction_fails_lint(mutable_tree):
+    # The PR 7 bug shape: ResultCache persisting entries with a bare
+    # open(..., "w") instead of the atomic staged write.
+    reintroduce(
+        mutable_tree / "sim" / "parallel.py",
+        "        atomic_write(self.path_for(key), entry)",
+        '''        with open(self.path_for(key), "wb") as fh:
+            fh.write(entry)''',
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR006"])
+    assert any(
+        "direct open(..., 'wb')" in f.message
+        and f.rel == "sim/parallel.py"
+        for f in findings
+    )
