@@ -38,6 +38,14 @@ completion.  A killed sweep is continued by ``python -m repro sweep
 run, or fixed up front with ``--sweep-id`` / ``REPRO_SWEEP_ID``) with
 bit-identical final results.
 
+``--trace-store [DIR]`` (default: the ``REPRO_TRACE_STORE`` env flag,
+else off; ``--no-trace-store`` forces it off) materializes each
+distinct trace once into a shared, mmap-attachable store (default
+``<cache>/traces``); sweep workers — and coordinator runners across
+machines — attach traces zero-copy by fingerprint instead of each
+regenerating a private copy, cutting per-worker trace residency to
+roughly ``1/jobs`` with bit-identical results.
+
 ``--telemetry`` (default: the ``REPRO_TELEMETRY`` env flag) records
 per-stage pipeline telemetry and writes one JSON file per simulation
 into ``--telemetry-dir`` (default ``REPRO_TELEMETRY_DIR`` or
@@ -143,6 +151,11 @@ def _make_runner(
                 file=sys.stderr,
             )
             raise SystemExit(2)
+    trace_store = None
+    if getattr(args, "no_trace_store", False):
+        trace_store = False
+    elif getattr(args, "trace_store", None) is not None:
+        trace_store = args.trace_store
     return SweepRunner(
         jobs=args.jobs,
         use_cache=not args.no_cache,
@@ -152,6 +165,7 @@ def _make_runner(
         telemetry=args.telemetry,
         telemetry_dir=args.telemetry_dir,
         coordinator=coordinator,
+        trace_store=trace_store,
     )
 
 
@@ -183,6 +197,19 @@ def _add_runner_flags(parser: argparse.ArgumentParser) -> None:
         "--retries", type=int, default=2, metavar="N",
         help="extra attempts for retried cells (default: 2; the last "
              "retry runs in-process)",
+    )
+    parser.add_argument(
+        "--trace-store", nargs="?", const=True, default=None, metavar="DIR",
+        help="materialize each distinct trace once into a shared "
+             "mmap-attachable store (default directory: <cache>/traces) "
+             "so sweep workers share one set of trace pages instead of "
+             "regenerating private copies; results are bit-identical "
+             "(default: the REPRO_TRACE_STORE env flag, else off)",
+    )
+    parser.add_argument(
+        "--no-trace-store", action="store_true",
+        help="disable the shared trace store even when "
+             "REPRO_TRACE_STORE is set",
     )
     _add_coordinator_flags(parser)
     _add_telemetry_flags(parser)

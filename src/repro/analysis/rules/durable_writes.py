@@ -40,6 +40,8 @@ DURABLE_FILES = (
     "sim/journal.py",
     "sim/coordinator.py",
     "sim/telemetry.py",
+    "trace/io.py",
+    "trace/store.py",
     "__main__.py",
 )
 

@@ -47,7 +47,9 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
+from ..config import baseline_config
 from ..errors import SweepError
+from ..trace.store import TraceStore
 from .chaos import ChaosSchedule, FaultKind, apply_chaos, corrupt_file
 from .durability import atomic_write
 from .journal import Journal, Record
@@ -343,6 +345,7 @@ def _runner_process(
     max_attempts: int,
     on_error: str,
     chaos: Optional[ChaosSchedule],
+    trace_store_root: Optional[str] = None,
 ) -> None:
     """Entry point of one independent runner process.
 
@@ -350,10 +353,21 @@ def _runner_process(
     it, flush the result to the shared cache, journal the completion.
     Everything it knows comes off the shared directory, so a runner can
     join, die, or be started on another machine at any time.
+
+    With ``trace_store_root`` set, the first runner to win a lease on a
+    cell of each distinct trace materializes that trace into the shared
+    store (journaling a ``trace`` record); every later cell — in this
+    runner or any sibling, on any machine sharing the directory —
+    attaches it zero-copy.  The store is the same cross-machine
+    rendezvous the result cache is, with the same degradation rule: any
+    store failure falls back to private regeneration.
     """
     sweep = Path(sweep_dir)
     cells = load_cells(sweep)
     keys = [cell_fingerprint(cell) for cell in cells]
+    store = (
+        TraceStore(trace_store_root) if trace_store_root is not None else None
+    )
     leaders: List[int] = []
     seen = set()
     for i, key in enumerate(keys):
@@ -460,7 +474,30 @@ def _runner_process(
                     )
                     heartbeat.start()
                 try:
-                    result = _run_cell(cells[i])
+                    trace = None
+                    if store is not None:
+                        config = (
+                            cells[i].config
+                            if cells[i].config is not None
+                            else baseline_config()
+                        )
+                        materialized_before = store.materialized
+                        trace = store.get_or_materialize(
+                            cells[i].workload,
+                            config.num_chiplets,
+                            cells[i].seed,
+                        )
+                        if store.materialized > materialized_before:
+                            journal.append(
+                                {
+                                    "kind": "trace",
+                                    "event": "materialized",
+                                    "fp": key,
+                                    "runner": runner_id,
+                                    "bytes": int(trace.nbytes),
+                                }
+                            )
+                    result = _run_cell(cells[i], trace=trace)
                 finally:
                     if heartbeat is not None:
                         heartbeat.stop()
@@ -482,6 +519,13 @@ def _runner_process(
                         "fp": key,
                         "runner": runner_id,
                         "attempt": attempt,
+                        "trace": result.trace_source,
+                        "trace_bytes": (
+                            int(trace.nbytes)
+                            if result.trace_source == "store"
+                            and trace is not None
+                            else 0
+                        ),
                     }
                 )
             except Exception as exc:
@@ -706,6 +750,11 @@ class Coordinator:
                 runner.max_attempts,
                 runner.on_error.value,
                 runner.chaos,
+                (
+                    str(runner.trace_store.root)
+                    if runner.trace_store is not None
+                    else None
+                ),
             ),
             daemon=True,
         )
@@ -805,6 +854,11 @@ class Coordinator:
         if kind == "error":
             stats.retries += 1
             return
+        if kind == "trace":
+            # A runner materialized a trace into the shared store.
+            if record.get("event") == "materialized":
+                stats.traces_materialized += 1
+            return
         key = record.get("fp")
         if not isinstance(key, str) or key not in pending_keys:
             return
@@ -825,6 +879,11 @@ class Coordinator:
                 stats.simulated += 1
             else:
                 stats.cache_hits += 1
+            if record.get("trace") == "store":
+                stats.traces_attached += 1
+                stats.trace_bytes_shared += int(
+                    record.get("trace_bytes", 0) or 0
+                )
             pending_keys.discard(key)
             return
         if kind == "failed":

@@ -28,7 +28,7 @@ import os
 import tempfile
 import zlib
 from pathlib import Path
-from typing import Dict, Tuple, Union
+from typing import Dict, Sequence, Tuple, Union
 
 __all__ = [
     "atomic_write",
@@ -40,7 +40,7 @@ __all__ = [
 
 def atomic_write(
     path: Union[str, Path],
-    data: Union[bytes, str],
+    data: Union[bytes, str, Sequence[Union[bytes, memoryview]]],
     *,
     fsync: bool = True,
 ) -> None:
@@ -53,18 +53,29 @@ def atomic_write(
     callers that only need atomicity (e.g. high-rate lease heartbeats
     whose loss is recoverable by design).
 
+    ``data`` may also be a sequence of bytes-like buffers, written back
+    to back — so a caller holding a small header plus a large array
+    (the v2 trace archive) can stream both without concatenating them
+    into a throwaway copy first.
+
     Raises ``OSError`` on storage failure; callers with a degradation
     path (the result cache) catch it, everyone else propagates.
     """
     target = Path(path)
-    payload = data.encode("utf-8") if isinstance(data, str) else data
+    if isinstance(data, str):
+        buffers: Sequence[Union[bytes, memoryview]] = (data.encode("utf-8"),)
+    elif isinstance(data, (bytes, bytearray, memoryview)):
+        buffers = (data,)
+    else:
+        buffers = data
     target.parent.mkdir(parents=True, exist_ok=True)
     fd, tmp = tempfile.mkstemp(
         dir=str(target.parent), prefix=f".{target.name}.", suffix=".tmp"
     )
     try:
         try:
-            os.write(fd, payload)
+            for buffer in buffers:
+                os.write(fd, buffer)
             if fsync:
                 os.fsync(fd)
         finally:

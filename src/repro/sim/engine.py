@@ -126,6 +126,7 @@ def run_simulation(
             "a pre-bound Workload must share the machine's VA space; "
             "pass the WorkloadSpec instead"
         )
+    external_trace = trace is not None
     if trace is None:
         trace = workload.build_trace(seed)
     policy.attach(machine, workload)
@@ -144,7 +145,12 @@ def run_simulation(
     else:
         pipeline = AccessPipeline(state, hook)
     pipeline.run()
-    return _fold_result(state, pipeline, timing)
+    result = _fold_result(state, pipeline, timing)
+    # Where the trace came from is computed-how metadata (the sweep
+    # runner counts store attaches off it); None when we built it here.
+    if external_trace:
+        result.trace_source = trace.source
+    return result
 
 
 def _fold_result(

@@ -77,11 +77,12 @@ from typing import (
 )
 
 from ..arch.address import InterleavePolicy
-from ..config import GPUConfig
+from ..config import GPUConfig, baseline_config
 from ..errors import SweepError
 from ..policies.contract import CAPABILITY_FLAGS
+from ..trace.store import TraceStore, resolve_trace_store
 from ..trace.suite import workload_by_name
-from ..trace.workload import WorkloadSpec
+from ..trace.workload import Trace, WorkloadSpec
 from .chaos import ChaosDirective, ChaosSchedule, apply_chaos
 from .durability import EntryCorrupt, atomic_write, frame_entry, parse_entry
 from .results import SimResult
@@ -448,6 +449,15 @@ class SweepStats:
     leases_stolen: int = 0
     #: corrupt cache entries moved to ``corrupt/`` and recomputed
     entries_quarantined: int = 0
+    #: distinct traces built and written into the shared trace store
+    traces_materialized: int = 0
+    #: cells that replayed a store-attached (mmap, zero-copy) trace
+    #: instead of regenerating it privately
+    traces_attached: int = 0
+    #: arena bytes those attached cells did *not* hold privately —
+    #: each attach shares the store archive's pages instead of owning
+    #: a copy, so this is the memory the store saved
+    trace_bytes_shared: int = 0
     wall_seconds: float = 0.0
     failures: List[CellFailure] = dataclasses.field(default_factory=list)
 
@@ -477,6 +487,12 @@ class SweepStats:
             parts.append(f"{self.leases_stolen} leases stolen")
         if self.entries_quarantined:
             parts.append(f"{self.entries_quarantined} quarantined")
+        if self.traces_materialized or self.traces_attached:
+            parts.append(f"{self.traces_materialized} traces materialized")
+            parts.append(
+                f"{self.traces_attached} attached "
+                f"({self.trace_bytes_shared / 1e6:.1f} MB shared)"
+            )
         if self.failures:
             parts.append(f"{self.failed} failed")
         parts.append(f"{self.wall_seconds:.1f}s wall")
@@ -499,7 +515,9 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return max(1, int(jobs))
 
 
-def _run_cell(cell: SweepCell) -> SimResult:
+def _run_cell(
+    cell: SweepCell, trace: Optional[Trace] = None
+) -> SimResult:
     """Execute one cell in the current process."""
     return run_workload(
         cell.workload,
@@ -510,6 +528,7 @@ def _run_cell(cell: SweepCell) -> SimResult:
         seed=cell.seed,
         timing=cell.timing,
         telemetry=cell.telemetry,
+        trace=trace,
     )
 
 
@@ -517,10 +536,23 @@ def _run_cell_worker(
     cell: SweepCell,
     directive: Optional[ChaosDirective] = None,
     in_process: bool = False,
+    trace_ref: Optional[Tuple[str, str]] = None,
 ) -> SimResult:
-    """Process-pool worker entry point, with optional chaos injection."""
+    """Process-pool worker entry point, with optional chaos injection.
+
+    ``trace_ref`` is ``(store_root, fingerprint)`` naming a trace the
+    parent already materialized: the worker attaches it zero-copy
+    (mmap, shared pages) instead of regenerating.  Any attach failure —
+    missing archive, quarantined corruption — falls back to private
+    regeneration inside the engine, so the store can only make a cell
+    cheaper, never break it.
+    """
     apply_chaos(directive, in_process=in_process)
-    return _run_cell(cell)
+    trace = None
+    if trace_ref is not None:
+        root, fingerprint = trace_ref
+        trace = TraceStore(root).attach(fingerprint)
+    return _run_cell(cell, trace=trace)
 
 
 def _picklable(cell: SweepCell) -> bool:
@@ -579,6 +611,20 @@ class SweepRunner:
         off (see :mod:`repro.sim.coordinator`).  Requires the result
         cache (it is the rendezvous point) and is mutually exclusive
         with telemetry recording.
+    trace_store:
+        Shared zero-copy trace store.  ``True`` (or ``1``/``on``) uses
+        the default root (``<cache>/traces``), a path uses that
+        directory, ``None`` defers to ``REPRO_TRACE_STORE``, and
+        ``False`` (or an unset environment) disables sharing.  When on,
+        the parent — or, in coordinator mode, the first runner to win a
+        lease — materializes each distinct ``(workload, chiplets,
+        seed)`` trace into a format-v2 arena archive once, and every
+        worker attaches it by fingerprint via ``np.memmap``: all
+        processes share one set of physical pages instead of each
+        holding a private trace copy.  Results are bit-identical with
+        the store on or off (the trace bytes are the same; only where
+        they live changes), and any store failure degrades to private
+        regeneration.
     telemetry, telemetry_dir:
         ``telemetry=True`` (default: the ``REPRO_TELEMETRY`` env flag)
         records per-stage telemetry for every cell and dumps one JSON
@@ -605,11 +651,25 @@ class SweepRunner:
         coordinator: Optional["CoordinatorConfig"] = None,
         telemetry: Optional[bool] = None,
         telemetry_dir: Optional[Union[str, Path]] = None,
+        trace_store: Union[None, bool, str, Path] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[ResultCache] = (
             ResultCache(cache_dir) if use_cache else None
         )
+        store_root = resolve_trace_store(trace_store)
+        #: shared trace store (``--trace-store``/``REPRO_TRACE_STORE``):
+        #: the parent materializes each distinct trace once and workers
+        #: attach zero-copy by fingerprint; None means every worker
+        #: regenerates its own trace (the default)
+        self.trace_store: Optional[TraceStore] = (
+            TraceStore(store_root) if store_root is not None else None
+        )
+        #: pending-cell index -> (store root, trace fingerprint) for the
+        #: current ``run_cells`` batch; workers attach through these
+        self._trace_refs: Dict[int, Tuple[str, str]] = {}
+        #: pending-cell index -> arena bytes of that cell's trace
+        self._trace_nbytes: Dict[int, int] = {}
         self.telemetry = (
             telemetry_enabled_by_env() if telemetry is None else bool(telemetry)
         )
@@ -731,6 +791,7 @@ class SweepRunner:
             coordinator.run(cells, keys, pending, results)
             self.last_sweep_id = coordinator.sweep_id
             return
+        self._prepare_traces(cells, pending)
         pending = self._run_fused_groups(cells, keys, pending, results)
         pool_indices: List[int] = []
         serial_indices: List[int] = []
@@ -749,6 +810,39 @@ class SweepRunner:
             self._run_pool(cells, keys, pool_indices, results)
         for i in serial_indices:
             self._run_serial(cells, keys, i, results)
+
+    # --- trace-store materialization ---
+
+    def _prepare_traces(
+        self, cells: List[SweepCell], pending: List[int]
+    ) -> None:
+        """Materialize every pending cell's trace into the store once.
+
+        Content addressing dedupes across cells: the first cell of each
+        distinct ``(workload, chiplets, seed)`` builds and writes the
+        archive, the rest just stat it.  Workers then attach by the
+        ``(root, fingerprint)`` refs recorded here.  With the store off
+        this only resets the per-batch ref maps.
+        """
+        self._trace_refs = {}
+        self._trace_nbytes = {}
+        store = self.trace_store
+        if store is None or not pending:
+            return
+        materialized_before = store.materialized
+        for i in pending:
+            cell = cells[i]
+            config = (
+                cell.config if cell.config is not None else baseline_config()
+            )
+            fingerprint, nbytes, _ = store.ensure(
+                cell.workload, config.num_chiplets, cell.seed
+            )
+            self._trace_refs[i] = (str(store.root), fingerprint)
+            self._trace_nbytes[i] = nbytes
+        self.stats.traces_materialized += (
+            store.materialized - materialized_before
+        )
 
     # --- fused trace-group scheduling ---
 
@@ -797,7 +891,9 @@ class SweepRunner:
             if len(group) < 2:
                 rest.extend(group)
                 continue
-            outcomes = run_group([cells[i] for i in group])
+            outcomes = run_group(
+                [cells[i] for i in group], trace_store=self.trace_store
+            )
             for i, outcome in zip(group, outcomes):
                 if isinstance(outcome, SimResult):
                     self._complete(i, keys[i], outcome, results, cells[i])
@@ -850,7 +946,8 @@ class SweepRunner:
                     directive = self._directive(cells[index], attempt)
                     try:
                         future = pool.submit(
-                            _run_cell_worker, cells[index], directive
+                            _run_cell_worker, cells[index], directive,
+                            trace_ref=self._trace_refs.get(index),
                         )
                     except (BrokenProcessPool, RuntimeError):
                         # Pool died between completions; rebuild and
@@ -980,7 +1077,8 @@ class SweepRunner:
             directive = self._directive(cells[index], attempt)
             try:
                 result = _run_cell_worker(
-                    cells[index], directive, in_process=True
+                    cells[index], directive, in_process=True,
+                    trace_ref=self._trace_refs.get(index),
                 )
             except Exception as exc:
                 if (
@@ -1074,6 +1172,9 @@ class SweepRunner:
         so an abort later in the sweep never discards it."""
         results[index] = result
         self.stats.simulated += 1
+        if result.trace_source == "store":
+            self.stats.traces_attached += 1
+            self.stats.trace_bytes_shared += self._trace_nbytes.get(index, 0)
         if result.telemetry is not None and cell is not None:
             self._dump_telemetry(key, cell, result)
         if self.cache is not None:

@@ -54,6 +54,7 @@ CACHE_CUSTOM_FIELDS: Tuple[str, ...] = (
 CACHE_EXCLUDED_FIELDS: Tuple[str, ...] = (
     "fast_path_fraction",
     "fault_batch_fraction",
+    "trace_source",
 )
 
 
@@ -118,6 +119,14 @@ class SimResult:
     #: bounded capacity, host eviction).  Computed-how metadata like
     #: ``fast_path_fraction``: excluded from equality and ``to_dict``.
     fault_batch_fraction: Optional[float] = field(default=None, compare=False)
+    #: Where the replayed trace came from: ``"generated"`` (built in the
+    #: simulating process), ``"archive"`` (loaded from a trace file) or
+    #: ``"store"`` (attached zero-copy from the shared trace store);
+    #: None when the engine built the trace itself.  The sweep runner
+    #: reads it to count store attaches.  Computed-how metadata —
+    #: excluded from equality and ``to_dict`` so store-on and store-off
+    #: runs of the same cell stay bit-identical.
+    trace_source: Optional[str] = field(default=None, compare=False)
 
     @property
     def performance(self) -> float:

@@ -13,7 +13,7 @@ from typing import Optional, Union
 from ..arch.address import InterleavePolicy
 from ..config import GPUConfig
 from ..trace.suite import workload_by_name
-from ..trace.workload import WorkloadSpec
+from ..trace.workload import Trace, WorkloadSpec
 from .engine import run_simulation
 from .results import SimResult
 from .timing import TimingParams
@@ -66,6 +66,7 @@ def run_workload(
     timing: Optional[TimingParams] = None,
     telemetry: Optional[bool] = None,
     engine: Optional[str] = None,
+    trace: Optional[Trace] = None,
 ) -> SimResult:
     """Run one (workload, policy) pair and return its :class:`SimResult`.
 
@@ -74,7 +75,10 @@ def run_workload(
     ``telemetry`` forces per-stage telemetry on/off; ``None`` defers to
     the ``REPRO_TELEMETRY`` environment flag.  ``engine`` selects
     staged/batched/auto replay (``None`` defers to ``REPRO_ENGINE``);
-    results are bit-identical either way.
+    results are bit-identical either way.  ``trace`` supplies a
+    pre-built (e.g. store-attached) trace instead of regenerating one —
+    it must match ``(workload, config.num_chiplets, seed)``, which the
+    determinism invariant makes exact.
     """
     spec = workload_by_name(workload) if isinstance(workload, str) else workload
     return run_simulation(
@@ -87,4 +91,5 @@ def run_workload(
         timing=timing,
         telemetry=telemetry,
         engine=engine,
+        trace=trace,
     )

@@ -35,14 +35,15 @@ per-cell machinery.
 
 from __future__ import annotations
 
-import hashlib
-import json
-from typing import List, Union
+from typing import TYPE_CHECKING, List, Optional, Union
 
 from ..config import baseline_config
 from ..trace.workload import Workload
 from .engine import run_simulation
 from .results import SimResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..trace.store import TraceStore
 
 __all__ = ["BatchedSweepPipeline", "run_group", "trace_group_key"]
 
@@ -53,18 +54,14 @@ def trace_group_key(cell) -> str:
     Two cells with equal keys replay byte-identical traces: the trace is
     a deterministic function of the workload spec, the seed and the
     chiplet count, and of nothing else (policy, interleave, remote cache
-    and timing only affect the replay).
+    and timing only affect the replay).  Delegates to
+    :func:`repro.trace.store.trace_fingerprint`, so the fused-replay
+    grouping key and the trace store's filename are one identity.
     """
-    from .parallel import _jsonable
+    from ..trace.store import trace_fingerprint
 
     config = cell.config if cell.config is not None else baseline_config()
-    payload = {
-        "workload": _jsonable(cell.workload),
-        "seed": cell.seed,
-        "num_chiplets": config.num_chiplets,
-    }
-    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+    return trace_fingerprint(cell.workload, config.num_chiplets, cell.seed)
 
 
 class BatchedSweepPipeline:
@@ -77,23 +74,33 @@ class BatchedSweepPipeline:
     failures through its normal retry machinery).
     """
 
-    def __init__(self, cells) -> None:
+    def __init__(
+        self, cells, trace_store: Optional["TraceStore"] = None
+    ) -> None:
         self.cells = list(cells)
         if not self.cells:
             raise ValueError("a trace group needs at least one cell")
+        self.trace_store = trace_store
 
     def run(self) -> List[Union[SimResult, Exception]]:
         first = self.cells[0]
         config = (
             first.config if first.config is not None else baseline_config()
         )
-        # Build the group's trace once against a fresh VA space; the
-        # per-cell machines lay out identical allocations (determinism
-        # invariant), so the trace is valid for every cell.
-        workload = Workload(
-            first.workload, config.num_chiplets, seed=first.seed
-        )
-        trace = workload.build_trace(first.seed)
+        # Obtain the group's trace once: attached zero-copy from the
+        # shared store when one is configured, otherwise built against a
+        # fresh VA space.  Either way the per-cell machines lay out
+        # identical allocations (determinism invariant), so the trace is
+        # valid for every cell.
+        if self.trace_store is not None:
+            trace = self.trace_store.get_or_materialize(
+                first.workload, config.num_chiplets, first.seed
+            )
+        else:
+            workload = Workload(
+                first.workload, config.num_chiplets, seed=first.seed
+            )
+            trace = workload.build_trace(first.seed)
         prep: dict = {}
         outcomes: List[Union[SimResult, Exception]] = []
         for cell in self.cells:
@@ -117,6 +124,8 @@ class BatchedSweepPipeline:
         return outcomes
 
 
-def run_group(cells) -> List[Union[SimResult, Exception]]:
+def run_group(
+    cells, trace_store: Optional["TraceStore"] = None
+) -> List[Union[SimResult, Exception]]:
     """Convenience wrapper: fused replay of one trace group."""
-    return BatchedSweepPipeline(cells).run()
+    return BatchedSweepPipeline(cells, trace_store=trace_store).run()

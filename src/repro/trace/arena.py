@@ -1,0 +1,131 @@
+"""The trace arena: one contiguous buffer behind every trace column.
+
+A :class:`~repro.trace.workload.Trace` is a *columnar* record — three
+parallel arrays (``chiplets``, ``vaddrs``, ``alloc_ids``) indexed by
+access position.  This module defines the single memory layout those
+columns live in, everywhere:
+
+* **in memory** — trace generation packs its columns into one
+  contiguous ``uint8`` arena and hands out read-only views, so a trace
+  is one allocation, not three, and can be frozen (``writeable=False``)
+  as a unit;
+* **on disk** — the format-v2 archive (:mod:`repro.trace.io`) is a
+  fixed-size header followed by *exactly these bytes*, so ``np.memmap``
+  of the data section plus :func:`views_over` reconstructs the columns
+  with zero copies;
+* **across processes** — N sweep workers mapping the same archive share
+  one set of physical pages (the kernel page cache), which is what
+  drops per-worker trace residency from ``nbytes`` to ``nbytes / N``
+  (:mod:`repro.trace.store`).
+
+Every column starts at a 4096-byte-aligned offset.  Page alignment
+serves two masters at once: ``ndarray.view(dtype)`` requires the slice
+start to be a multiple of the itemsize (4096 covers every dtype we
+use), and a page-aligned file offset lets the OS map each column on a
+page boundary without read-modify-write straddles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ARENA_ALIGN",
+    "COLUMNS",
+    "allocate",
+    "arena_nbytes",
+    "column_layout",
+    "freeze",
+    "views_over",
+]
+
+#: Alignment of every column offset (and of the v2 archive's data
+#: section within the file): one 4KB page.
+ARENA_ALIGN = 4096
+
+#: The trace columns, in arena order, with their fixed dtypes.  The
+#: order is part of the v2 format — change it and bump the archive
+#: version in :mod:`repro.trace.io`.
+COLUMNS: Tuple[Tuple[str, np.dtype], ...] = (
+    ("chiplets", np.dtype(np.int8)),
+    ("vaddrs", np.dtype(np.int64)),
+    ("alloc_ids", np.dtype(np.int16)),
+)
+
+
+def _align_up(value: int, align: int = ARENA_ALIGN) -> int:
+    return (value + align - 1) & ~(align - 1)
+
+
+def column_layout(n: int) -> Tuple[List[Tuple[str, np.dtype, int, int]], int]:
+    """The arena layout for a trace of ``n`` accesses.
+
+    Returns ``(columns, total)`` where ``columns`` is a list of
+    ``(name, dtype, offset, nbytes)`` in arena order, every ``offset``
+    is :data:`ARENA_ALIGN`-aligned, and ``total`` is the aligned arena
+    size in bytes.
+    """
+    if n < 0:
+        raise ValueError("trace length must be >= 0")
+    layout: List[Tuple[str, np.dtype, int, int]] = []
+    offset = 0
+    for name, dtype in COLUMNS:
+        nbytes = n * dtype.itemsize
+        layout.append((name, dtype, offset, nbytes))
+        offset = _align_up(offset + nbytes)
+    return layout, offset
+
+
+def arena_nbytes(n: int) -> int:
+    """Total arena bytes for a trace of ``n`` accesses."""
+    return column_layout(n)[1]
+
+
+def views_over(buffer: np.ndarray, n: int) -> Dict[str, np.ndarray]:
+    """The column views of an arena ``buffer`` (a 1-D ``uint8`` array).
+
+    Works identically for a freshly allocated in-memory arena and for
+    the data section of a memory-mapped v2 archive — the views are
+    plain slices reinterpreted per column dtype, never copies.  The
+    returned views inherit the buffer's writeability; callers freeze
+    via :func:`freeze`.
+    """
+    if buffer.dtype != np.uint8 or buffer.ndim != 1:
+        raise ValueError("arena buffer must be a 1-D uint8 array")
+    layout, total = column_layout(n)
+    if len(buffer) < total:
+        raise ValueError(
+            f"arena buffer holds {len(buffer)} bytes, layout needs {total}"
+        )
+    views: Dict[str, np.ndarray] = {}
+    for name, dtype, offset, nbytes in layout:
+        views[name] = buffer[offset:offset + nbytes].view(dtype)
+    return views
+
+
+def allocate(n: int) -> Tuple[np.ndarray, Dict[str, np.ndarray]]:
+    """A writable arena for ``n`` accesses plus its column views.
+
+    Trace generation fills the views in place (e.g. with
+    ``np.concatenate(..., out=view)``), then freezes the whole arena
+    with :func:`freeze` — after which the columns are immutable
+    everywhere they are shared.
+    """
+    _, total = column_layout(n)
+    arena = np.zeros(total, dtype=np.uint8)
+    return arena, views_over(arena, n)
+
+
+def freeze(*arrays: np.ndarray) -> None:
+    """Clear the writeable flag on every given array, in place.
+
+    Setting ``writeable=False`` is always permitted (unlike setting it
+    back), so this works on owned arenas, on views, and on read-only
+    memmaps alike.  A frozen trace turns any would-be in-place mutation
+    into an immediate ``ValueError`` instead of a silent divergence
+    between workers sharing the arena.
+    """
+    for array in arrays:
+        array.setflags(write=False)

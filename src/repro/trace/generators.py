@@ -16,6 +16,7 @@ from typing import List, Tuple
 import numpy as np
 
 from ..units import CACHE_LINE, PAGE_64K
+from . import arena
 from .workload import Pattern, Scan, StructureSpec, Trace, Workload
 
 #: Pages per 2MB VA block; used by the block-strided scan order.
@@ -197,14 +198,19 @@ def build_trace(workload: Workload, seed: int) -> Trace:
         chunks.append(chunk)
         total += len(order)
 
-    all_chiplets = np.concatenate([c[0] for c in chunks])
-    all_vaddrs = np.concatenate([c[1] for c in chunks])
-    all_ids = np.concatenate([c[2] for c in chunks])
+    # Concatenate straight into one arena buffer: the columns are
+    # written in place (no intermediate full-trace arrays) and frozen
+    # read-only by Trace construction.
+    buffer, views = arena.allocate(total)
+    np.concatenate([c[0] for c in chunks], out=views["chiplets"])
+    np.concatenate([c[1] for c in chunks], out=views["vaddrs"])
+    np.concatenate([c[2] for c in chunks], out=views["alloc_ids"])
     n_warp = int(round(total / spec.mem_fraction))
     return Trace(
-        chiplets=all_chiplets,
-        vaddrs=all_vaddrs,
-        alloc_ids=all_ids,
+        chiplets=views["chiplets"],
+        vaddrs=views["vaddrs"],
+        alloc_ids=views["alloc_ids"],
         kernel_starts=kernel_starts,
         n_warp_instructions=n_warp,
+        arena=buffer,
     )

@@ -1,0 +1,262 @@
+"""Content-addressed trace store: materialize once, attach everywhere.
+
+Sweeps replay far fewer *distinct* traces than cells — a trace is a
+deterministic function of ``(workload spec, num_chiplets, seed)`` and of
+nothing else (the same invariant :func:`repro.sim.xbatch.
+trace_group_key` fuses on).  Without sharing, every worker process
+regenerates (or privately loads) its cell's trace, so sweep memory
+scales as trace-bytes × ``--jobs``.
+
+The store is the fix: a directory of format-v2 arena archives keyed by
+:func:`trace_fingerprint`, living beside the result cache.  The sweep
+parent (or the first distributed runner to win a lease) *materializes*
+each distinct trace — builds it once and writes the archive atomically
+— and every other worker *attaches* by fingerprint: ``np.memmap`` of
+the archive's data section, zero copies, all processes sharing one set
+of physical pages through the kernel page cache.  Per-worker trace
+residency drops from ``nbytes`` to roughly ``nbytes / jobs``.
+
+Robustness mirrors the result cache: archives are CRC-verified on
+attach, a corrupt or truncated archive is quarantined to
+``<root>/corrupt/`` and reported as a miss (the caller regenerates —
+never trusts, never crashes), and concurrent materializations of the
+same fingerprint race benignly because both writers produce identical
+bytes and the atomic rename makes the last one win.
+
+Every failure path degrades to regeneration: a sweep with a broken
+store is slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import warnings
+from pathlib import Path
+from typing import Optional, Tuple, Union
+
+from ..errors import TraceFormatError
+from .io import load_trace, save_trace_v2
+from .workload import Trace, Workload, WorkloadSpec
+
+__all__ = [
+    "TraceStore",
+    "resolve_trace_store",
+    "trace_fingerprint",
+]
+
+#: Environment switch for the trace store: ``0``/``false``/``off``
+#: disables it, ``1``/``true``/``on`` enables it at the default root,
+#: anything else is taken as the store directory itself.
+TRACE_STORE_ENV = "REPRO_TRACE_STORE"
+
+_FALSY = ("", "0", "false", "off", "no")
+_TRUTHY = ("1", "true", "on", "yes")
+
+
+def trace_fingerprint(
+    workload: WorkloadSpec, num_chiplets: int, seed: int
+) -> str:
+    """Content hash of everything that determines a trace's bytes.
+
+    Deliberately the same payload as :func:`repro.sim.xbatch.
+    trace_group_key` (which delegates here): two sweep cells with equal
+    fingerprints replay byte-identical traces, so the fingerprint is
+    both the fused-replay grouping key and the store filename.
+    """
+    from ..sim.parallel import _jsonable  # lazy: avoids import cycle
+
+    payload = {
+        "workload": _jsonable(workload),
+        "seed": seed,
+        "num_chiplets": num_chiplets,
+    }
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def default_store_dir() -> Path:
+    """``<result-cache root>/traces`` — beside the result cache."""
+    from ..sim.parallel import default_cache_dir  # lazy: avoids cycle
+
+    return default_cache_dir() / "traces"
+
+
+def resolve_trace_store(
+    value: Union[None, bool, str, os.PathLike] = None,
+) -> Optional[Path]:
+    """The store root to use, or None when the store is off.
+
+    ``value`` (CLI flag) wins over :data:`TRACE_STORE_ENV`; both accept
+    on/off spellings or an explicit directory.  The default — no flag,
+    no env — is **off**: sharing changes how traces reach workers, so
+    it is opt-in per run (and per CI matrix axis), never ambient.
+    """
+    if value is None:
+        value = os.environ.get(TRACE_STORE_ENV)
+        if value is None:
+            return None
+    if isinstance(value, bool):
+        return default_store_dir() if value else None
+    text = str(os.fspath(value)).strip()
+    if text.lower() in _FALSY:
+        return None
+    if text.lower() in _TRUTHY:
+        return default_store_dir()
+    return Path(text)
+
+
+class TraceStore:
+    """A directory of format-v2 trace archives keyed by fingerprint.
+
+    One instance per process; counters record what this instance did
+    (the sweep machinery folds them into :class:`~repro.sim.parallel.
+    SweepStats`).  All writes go through the atomic v2 writer, all
+    reads CRC-verify before any view is handed out.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_store_dir()
+        #: traces this instance built and wrote into the store
+        self.materialized = 0
+        #: traces this instance attached zero-copy (mmap) from the store
+        self.attached = 0
+        #: arena bytes of attached traces — memory *not* privately held
+        self.bytes_shared = 0
+        #: corrupt archives moved aside by this instance
+        self.quarantined = 0
+        #: set after the first failed write; the store then degrades to
+        #: regeneration (a broken disk must never break a sweep)
+        self.write_disabled = False
+        self._quarantine_warned = False
+
+    # --- addressing ---
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.trace"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        """Where archives failing verification are moved for post-mortems."""
+        return self.root / "corrupt"
+
+    # --- attach (read side) ---
+
+    def attach(self, fingerprint: str) -> Optional[Trace]:
+        """Memory-map the stored trace for ``fingerprint``, or None.
+
+        A missing archive is a plain miss.  A corrupt one (bad magic,
+        truncation, CRC mismatch — anything :func:`load_trace` rejects)
+        is quarantined and reported as a miss, so the caller falls back
+        to regenerating; the archive is kept under ``corrupt/`` for
+        inspection.  The returned trace carries ``source="store"`` and
+        read-only columns backed by the shared mapping.
+        """
+        path = self.path_for(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            trace = load_trace(path)
+        except TraceFormatError as exc:
+            self._quarantine(path, str(exc))
+            return None
+        trace.source = "store"
+        self.attached += 1
+        self.bytes_shared += trace.nbytes
+        return trace
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a failed archive to ``corrupt/`` (fall back to deleting)."""
+        self.quarantined += 1
+        dest = self.corrupt_dir / path.name
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            if dest.exists():
+                dest = self.corrupt_dir / f"{path.name}.{self.quarantined}"
+            os.replace(path, dest)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        if not self._quarantine_warned:
+            self._quarantine_warned = True
+            warnings.warn(
+                f"quarantined corrupt trace archive {path.name} "
+                f"({reason}) to {self.corrupt_dir}; the trace will be "
+                "regenerated",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    # --- materialize (write side) ---
+
+    def ensure(
+        self, workload: WorkloadSpec, num_chiplets: int, seed: int
+    ) -> Tuple[str, int, bool]:
+        """Make sure the trace for these inputs exists in the store.
+
+        Returns ``(fingerprint, arena_nbytes, created)``.  When the
+        archive already exists it is left alone (content-addressing:
+        same key, same bytes).  When the write fails, the store
+        degrades — the fingerprint is still returned so callers can
+        attempt attaches, which will miss and regenerate.
+
+        Safe to race: two processes materializing the same fingerprint
+        both build the identical trace (determinism invariant) and the
+        atomic rename serializes the writes.
+        """
+        fingerprint = trace_fingerprint(workload, num_chiplets, seed)
+        path = self.path_for(fingerprint)
+        if path.exists():
+            return fingerprint, self._stored_nbytes(path), False
+        trace = Workload(workload, num_chiplets, seed=seed).build_trace(seed)
+        if not self.write_disabled:
+            try:
+                save_trace_v2(trace, path)
+                self.materialized += 1
+                return fingerprint, trace.nbytes, True
+            except OSError as exc:
+                self.write_disabled = True
+                warnings.warn(
+                    f"trace store at {self.root} is not writable ({exc}); "
+                    "workers will regenerate traces for the rest of this "
+                    "run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return fingerprint, trace.nbytes, False
+
+    @staticmethod
+    def _stored_nbytes(path: Path) -> int:
+        """Arena bytes of an existing archive (file size minus header)."""
+        try:
+            size = path.stat().st_size
+        except OSError:
+            return 0
+        # The v2 header occupies at least one aligned block; the exact
+        # split does not matter for stats, so report the data-dominant
+        # file size.
+        return max(0, int(size))
+
+    def get_or_materialize(
+        self, workload: WorkloadSpec, num_chiplets: int, seed: int
+    ) -> Trace:
+        """Attach the stored trace, materializing it first if needed.
+
+        Always returns a usable trace: if the store cannot be written
+        or the archive cannot be attached (corrupt, quarantined,
+        vanished), the trace is generated privately — correctness never
+        depends on the store.
+        """
+        fingerprint, _, _ = self.ensure(workload, num_chiplets, seed)
+        trace = self.attach(fingerprint)
+        if trace is not None:
+            return trace
+        return Workload(workload, num_chiplets, seed=seed).build_trace(seed)
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.trace"))

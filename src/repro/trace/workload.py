@@ -165,7 +165,23 @@ class WorkloadSpec:
 
 @dataclass
 class Trace:
-    """A generated access trace: one entry per memory (line) access."""
+    """A generated access trace: one entry per memory (line) access.
+
+    A trace is an *arena-backed columnar record*: ``chiplets``,
+    ``vaddrs`` and ``alloc_ids`` are read-only views over one
+    contiguous buffer laid out by :mod:`repro.trace.arena` — the same
+    layout the format-v2 archive memory-maps, so a trace attached from
+    the on-disk :class:`~repro.trace.store.TraceStore` and a trace
+    generated in-process are indistinguishable to every engine.
+
+    All three column arrays carry ``writeable=False``: a trace may be
+    shared zero-copy across sweep workers (and, via ``mmap``, across
+    machines), so any in-place mutation would silently desync replays —
+    freezing turns that bug class into an immediate ``ValueError``.
+    Construction accepts loose arrays and packs them into a fresh arena;
+    loaders that already hold an arena (or a memmap of one) pass it via
+    ``arena`` and the columns are adopted as-is.
+    """
 
     chiplets: np.ndarray
     vaddrs: np.ndarray
@@ -173,14 +189,39 @@ class Trace:
     #: start index of each kernel within the arrays
     kernel_starts: List[int]
     n_warp_instructions: int
+    #: the backing buffer (1-D uint8; possibly an ``np.memmap``) the
+    #: column arrays are views over
+    arena: Optional[np.ndarray] = None
+    #: where the columns came from: ``"generated"`` (built in this
+    #: process), ``"archive"`` (loaded from a trace file) or
+    #: ``"store"`` (attached zero-copy from the shared TraceStore)
+    source: str = "generated"
 
     def __post_init__(self) -> None:
+        from . import arena as _arena
+
         n = len(self.vaddrs)
         if len(self.chiplets) != n or len(self.alloc_ids) != n:
             raise ValueError("trace arrays must have equal length")
+        if self.arena is None:
+            # Loose arrays (legacy construction, v1 archives): pack them
+            # into a fresh arena so every trace shares one layout.
+            buffer, views = _arena.allocate(n)
+            for name, _dtype in _arena.COLUMNS:
+                np.copyto(views[name], getattr(self, name), casting="same_kind")
+            self.chiplets = views["chiplets"]
+            self.vaddrs = views["vaddrs"]
+            self.alloc_ids = views["alloc_ids"]
+            self.arena = buffer
+        _arena.freeze(self.arena, self.chiplets, self.vaddrs, self.alloc_ids)
 
     def __len__(self) -> int:
         return len(self.vaddrs)
+
+    @property
+    def nbytes(self) -> int:
+        """Arena bytes backing the trace (what sharing it saves)."""
+        return int(self.arena.nbytes) if self.arena is not None else 0
 
 
 class Workload:

@@ -347,8 +347,14 @@ def test_sigkill_then_resume_is_bit_identical(
     assert resumed.stats.cells_resumed >= kill_after
     assert resumed.stats.cells_resumed < CELL_COUNT
     assert resumed.stats.simulated > 0
+    # Every cell is adopted exactly once: from the journal (resumed),
+    # by re-running it (simulated), or — when the SIGKILL landed after
+    # cache.put but before the journal append — from the cache pre-scan.
     assert (
-        resumed.stats.cells_resumed + resumed.stats.simulated == CELL_COUNT
+        resumed.stats.cells_resumed
+        + resumed.stats.simulated
+        + resumed.stats.cache_hits
+        == CELL_COUNT
     )
 
     # Double resume: idempotent, everything adopted, nothing re-run.

@@ -155,8 +155,9 @@ class TestSimResultSerialization:
         """New SimResult fields must be added to the serializer.
 
         The ``CACHE_EXCLUDED_FIELDS`` (``fast_path_fraction``,
-        ``fault_batch_fraction``) are deliberately absent: they describe
-        how the run was computed (staged vs batched replay), not what it
+        ``fault_batch_fraction``, ``trace_source``) are deliberately
+        absent: they describe how the run was computed (staged vs
+        batched replay, generated vs store-attached trace), not what it
         computed, so they stay out of the cached payload — cached,
         staged, batched and fused results of one cell must remain equal.
         """

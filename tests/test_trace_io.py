@@ -5,7 +5,8 @@ import pytest
 
 from repro.policies import StaticPaging
 from repro.sim.engine import run_simulation
-from repro.trace.io import load_trace, save_trace
+from repro.trace import arena
+from repro.trace.io import load_trace, save_trace, save_trace_v2
 from repro.trace.workload import Workload
 from repro.units import MB, PAGE_64K
 
@@ -141,3 +142,151 @@ class TestCorruptArchives:
         self._save_fields(path, version=np.int64(99))
         with pytest.raises(ValueError, match="version"):
             load_trace(path)
+
+
+class TestArenaLayout:
+    """The single columnar layout behind every trace."""
+
+    def test_columns_are_views_over_one_buffer(self, trace):
+        assert trace.arena is not None
+        for column in (trace.chiplets, trace.vaddrs, trace.alloc_ids):
+            assert column.base is not None
+            assert np.shares_memory(column, trace.arena)
+
+    def test_column_offsets_are_page_aligned(self):
+        layout, total = arena.column_layout(12345)
+        for _name, _dtype, offset, _nbytes in layout:
+            assert offset % arena.ARENA_ALIGN == 0
+        assert total % arena.ARENA_ALIGN == 0
+
+    def test_arrays_are_read_only(self, trace):
+        for column in (trace.chiplets, trace.vaddrs, trace.alloc_ids):
+            with pytest.raises(ValueError):
+                column[0] = 1
+        with pytest.raises(ValueError):
+            trace.arena[0] = 1
+
+    def test_loose_array_construction_packs_an_arena(self):
+        from repro.trace.workload import Trace
+
+        t = Trace(
+            chiplets=np.asarray([0, 1], dtype=np.int8),
+            vaddrs=np.asarray([0, PAGE_64K], dtype=np.int64),
+            alloc_ids=np.asarray([0, 0], dtype=np.int16),
+            kernel_starts=[0],
+            n_warp_instructions=10,
+        )
+        assert t.arena is not None
+        assert np.shares_memory(t.vaddrs, t.arena)
+        assert not t.vaddrs.flags.writeable
+
+
+class TestV2Archive:
+    """The page-aligned, mmap-attachable format-v2 archive."""
+
+    def test_round_trip_bit_identity(self, trace, tmp_path):
+        path = tmp_path / "trace.trace"
+        save_trace(trace, path)  # non-.npz suffix: v2 inferred
+        loaded = load_trace(path)
+        assert np.array_equal(loaded.chiplets, trace.chiplets)
+        assert np.array_equal(loaded.vaddrs, trace.vaddrs)
+        assert np.array_equal(loaded.alloc_ids, trace.alloc_ids)
+        assert loaded.kernel_starts == trace.kernel_starts
+        assert loaded.n_warp_instructions == trace.n_warp_instructions
+        assert bytes(loaded.arena) == bytes(trace.arena)
+
+    def test_v1_v2_cross_format_identity(self, trace, tmp_path):
+        save_trace(trace, tmp_path / "t.npz")
+        save_trace(trace, tmp_path / "t.trace")
+        v1 = load_trace(tmp_path / "t.npz")
+        v2 = load_trace(tmp_path / "t.trace")
+        assert np.array_equal(v1.chiplets, v2.chiplets)
+        assert np.array_equal(v1.vaddrs, v2.vaddrs)
+        assert np.array_equal(v1.alloc_ids, v2.alloc_ids)
+        assert v1.kernel_starts == v2.kernel_starts
+        assert v1.n_warp_instructions == v2.n_warp_instructions
+
+    def test_attaches_as_memmap_views(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert isinstance(loaded.arena, np.memmap)
+        for column in (loaded.chiplets, loaded.vaddrs, loaded.alloc_ids):
+            assert np.shares_memory(column, loaded.arena)
+            assert not column.flags.writeable
+        assert loaded.source == "archive"
+
+    def test_mmap_false_forces_private_copy(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path, mmap=False)
+        assert not isinstance(loaded.arena, np.memmap)
+        assert np.array_equal(loaded.vaddrs, trace.vaddrs)
+
+    def test_drives_identical_simulation(self, tmp_path):
+        spec = make_spec(
+            partitioned(size=8 * MB, group=2, waves=2, lines_per_touch=4)
+        )
+        direct = run_simulation(spec, StaticPaging(PAGE_64K), seed=7)
+        path = tmp_path / "t.trace"
+        save_trace(Workload(spec, 4).build_trace(7), path)
+        replayed = run_simulation(
+            spec, StaticPaging(PAGE_64K), seed=7, trace=load_trace(path)
+        )
+        assert replayed.cycles == direct.cycles
+        assert replayed.remote_accesses == direct.remote_accesses
+
+    def test_explicit_version_overrides_suffix(self, trace, tmp_path):
+        path = tmp_path / "weird.npz"
+        save_trace(trace, path, version=2)
+        loaded = load_trace(path)
+        assert isinstance(loaded.arena, np.memmap)
+
+    def test_unknown_version_rejected(self, trace, tmp_path):
+        with pytest.raises(ValueError, match="version"):
+            save_trace(trace, tmp_path / "t.trace", version=3)
+
+
+class TestCorruptV2Archives:
+    """Truncation, bit rot and header damage all raise TraceFormatError."""
+
+    @pytest.fixture
+    def archive(self, trace, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace_v2(trace, path)
+        return path
+
+    def test_truncated_data_section(self, archive):
+        from repro.errors import TraceFormatError
+
+        blob = archive.read_bytes()
+        archive.write_bytes(blob[:-64])
+        with pytest.raises(TraceFormatError, match="truncated"):
+            load_trace(archive)
+
+    def test_flipped_data_bit_fails_crc(self, archive):
+        from repro.errors import TraceFormatError
+
+        blob = bytearray(archive.read_bytes())
+        blob[-1] ^= 0xFF
+        archive.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="CRC32"):
+            load_trace(archive)
+
+    def test_garbled_header(self, archive):
+        from repro.errors import TraceFormatError
+
+        blob = bytearray(archive.read_bytes())
+        blob[len(b"#repro-trace-v2 ") + 14] ^= 0xFF  # inside the JSON
+        archive.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError):
+            load_trace(archive)
+
+    def test_malformed_magic_size(self, archive):
+        from repro.errors import TraceFormatError
+
+        blob = bytearray(archive.read_bytes())
+        blob[len(b"#repro-trace-v2 ")] = ord("x")
+        archive.write_bytes(bytes(blob))
+        with pytest.raises(TraceFormatError, match="magic"):
+            load_trace(archive)
