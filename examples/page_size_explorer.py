@@ -1,50 +1,95 @@
 #!/usr/bin/env python
-"""Page-size explorer: sweep every supported size over a workload.
+"""Page-size explorer: sweep every supported size over workloads.
 
-Reproduces a single column of Figure 6 interactively::
+Reproduces Figure 6 columns interactively, fanned out through the
+parallel sweep runner (cached results are reused across invocations)::
 
-    python examples/page_size_explorer.py [WORKLOAD]
+    python examples/page_size_explorer.py [WORKLOAD ...]
+    python examples/page_size_explorer.py LPS STE BLK --surrogate
 
 Shows performance (normalised to 64KB), the remote-access ratio, L2 TLB
 MPKI and L2 cache MPKI for each page size — including the hypothetical
 intermediate sizes (128KB-1MB) that current GPUs do not support and that
 motivate CLAP's grouped-page construction.
+
+``--surrogate`` routes the sweep through the corpus-trained cost model:
+only the cells the page-size decision actually depends on are simulated
+exactly, the rest are predicted (marked ``~``, with the model's error
+bar, and never written to the result cache).  Small grids fall back to
+exact simulation — sweep several workloads to give the model volume to
+prune.
 """
 
-import sys
+import argparse
 
-from repro import StaticPaging, run_workload, workload_by_name
+from repro import StaticPaging, workload_by_name
+from repro.sim.parallel import SweepCell, SweepRunner
 from repro.units import PAGE_64K, SWEEP_PAGE_SIZES, size_label
 
 
 def main() -> None:
-    abbr = sys.argv[1] if len(sys.argv) > 1 else "LPS"
-    spec = workload_by_name(abbr)
-    print(f"workload: {spec.abbr} — {spec.title}\n")
+    parser = argparse.ArgumentParser(
+        description="sweep every page size over one or more workloads"
+    )
+    parser.add_argument("workload", nargs="*", default=["LPS"])
+    parser.add_argument(
+        "--surrogate", action="store_true",
+        help="prune the sweep with the corpus-trained surrogate "
+             "(predicted rows are marked ~ and never cached)",
+    )
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args()
 
-    results = {
-        size: run_workload(spec, StaticPaging(size))
+    specs = [workload_by_name(abbr) for abbr in args.workload]
+    cells = [
+        SweepCell(spec, StaticPaging(size))
+        for spec in specs
         for size in SWEEP_PAGE_SIZES
-    }
-    baseline = results[PAGE_64K]
+    ]
+    runner = SweepRunner(
+        jobs=args.jobs, surrogate="on" if args.surrogate else False
+    )
+    results = runner.run_cells(cells)
+    by_cell = dict(zip(((c.workload.abbr, c.policy.page_size) for c in cells),
+                       results))
 
-    print(f"{'page size':>10s} {'perf/64KB':>10s} {'remote':>7s} "
-          f"{'TLB MPKI':>9s} {'L2$ MPKI':>9s}")
-    best_size, best_value = None, float("-inf")
-    for size, result in results.items():
-        value = result.performance / baseline.performance
-        if value > best_value:
-            best_size, best_value = size, value
-        print(
-            f"{size_label(size):>10s} {value:10.3f} "
-            f"{result.remote_ratio:7.3f} {result.l2_tlb_mpki:9.2f} "
-            f"{result.l2_mpki:9.2f}"
-        )
-    print(f"\nbest page size for {abbr}: {size_label(best_size)} "
-          f"({best_value:.3f}x the 64KB configuration)")
-    if best_size not in (4096, PAGE_64K, 2 * 1024 * 1024):
-        print("note: this size is NOT natively supported by current GPUs —")
-        print("CLAP constructs it from coalescable groups of 64KB pages.")
+    for spec in specs:
+        print(f"workload: {spec.abbr} — {spec.title}\n")
+        baseline = by_cell[(spec.abbr, PAGE_64K)]
+        if baseline is None:
+            print("  (no 64KB baseline result; cell failed or unscored)")
+            continue
+        print(f"{'page size':>10s} {'perf/64KB':>11s} {'remote':>7s} "
+              f"{'TLB MPKI':>9s} {'L2$ MPKI':>9s}")
+        best_size, best_value = None, float("-inf")
+        for size in SWEEP_PAGE_SIZES:
+            result = by_cell[(spec.abbr, size)]
+            if result is None:
+                continue
+            value = result.performance / baseline.performance
+            if value > best_value:
+                best_size, best_value = size, value
+            predicted = getattr(result, "predicted", False)
+            mark = "~" if predicted else " "
+            if predicted:
+                detail = (f"(±{result.uncertainty:.4f} model "
+                          "error bar; not simulated)")
+                print(f"{size_label(size):>10s} {mark}{value:10.3f} "
+                      f"{result.remote_ratio:7.3f} {detail}")
+            else:
+                print(f"{size_label(size):>10s} {mark}{value:10.3f} "
+                      f"{result.remote_ratio:7.3f} "
+                      f"{result.l2_tlb_mpki:9.2f} {result.l2_mpki:9.2f}")
+        print(f"\nbest page size for {spec.abbr}: {size_label(best_size)} "
+              f"({best_value:.3f}x the 64KB configuration)")
+        if best_size not in (4096, PAGE_64K, 2 * 1024 * 1024):
+            print("note: this size is NOT natively supported by current "
+                  "GPUs —")
+            print("CLAP constructs it from coalescable groups of 64KB "
+                  "pages.")
+        print()
+    if runner.stats.cells:
+        print(runner.summary_line())
 
 
 if __name__ == "__main__":

@@ -2,12 +2,15 @@
 """Policy shootout: the Figure 18 comparison on chosen workloads.
 
 Runs all nine Section 5 configurations (static paging, Ideal C-NUMA,
-GRIT, MGvm, Barre-Chord, CLAP, Ideal) on one or more workloads::
+GRIT, MGvm, Barre-Chord, CLAP, Ideal) on one or more workloads, fanned
+out through the parallel sweep runner so cells simulate concurrently
+and repeat invocations come from the result cache::
 
     python examples/policy_shootout.py STE BLK SSSP
+    python examples/policy_shootout.py --jobs 4
 """
 
-import sys
+import argparse
 
 from repro import (
     BarreChordPolicy,
@@ -19,9 +22,9 @@ from repro import (
     StaticPaging,
     PAGE_2M,
     PAGE_64K,
-    run_workload,
     workload_by_name,
 )
+from repro.sim.parallel import SweepCell, SweepRunner
 
 CONFIGS = (
     ("S-64KB", lambda: StaticPaging(PAGE_64K)),
@@ -37,15 +40,29 @@ CONFIGS = (
 
 
 def main() -> None:
-    names = sys.argv[1:] or ["STE", "BLK", "GPT3"]
-    for abbr in names:
-        spec = workload_by_name(abbr)
+    parser = argparse.ArgumentParser(
+        description="compare the Section 5 policies on chosen workloads"
+    )
+    parser.add_argument("workload", nargs="*", default=["STE", "BLK", "GPT3"])
+    parser.add_argument("--jobs", type=int, default=None)
+    args = parser.parse_args()
+
+    specs = [workload_by_name(abbr) for abbr in args.workload]
+    cells = [
+        SweepCell(spec, make())
+        for spec in specs
+        for _name, make in CONFIGS
+    ]
+    runner = SweepRunner(jobs=args.jobs)
+    results = runner.run_cells(cells)
+
+    it = iter(results)
+    for spec in specs:
         print(f"== {spec.abbr} — {spec.title}")
         print(f"{'config':14s} {'perf/S-64KB':>11s} {'remote':>7s} "
               f"{'migrations':>10s}")
         baseline = None
-        for name, make in CONFIGS:
-            result = run_workload(spec, make())
+        for (name, _make), result in zip(CONFIGS, it):
             if baseline is None:
                 baseline = result
             print(
@@ -53,6 +70,8 @@ def main() -> None:
                 f"{result.remote_ratio:7.3f} {result.migrations:10d}"
             )
         print()
+    if runner.stats.cells:
+        print(runner.summary_line())
 
 
 if __name__ == "__main__":

@@ -4,17 +4,31 @@ Sub-commands::
 
     python -m repro run STE --policy CLAP --policy S-64KB
     python -m repro sweep LPS
+    python -m repro sweep LPS --surrogate
+    python -m repro explore STE LPS PR --budget 40
     python -m repro experiment fig18 --quick --jobs 4
     python -m repro report --quick --jobs 4
     python -m repro list
 
 ``run`` simulates one workload under one or more policies; ``sweep``
-reproduces its Figure 6 column; ``experiment`` regenerates a paper
-figure/table (optionally on the quick workload subset); ``report``
-regenerates the sweep-style figures/tables in one pass through the
-parallel runner; ``list`` shows the available workloads, policies and
-experiments.  Invoking ``python -m repro`` with only flags (e.g.
-``python -m repro --quick --jobs 4``) is shorthand for ``report``.
+reproduces its Figure 6 column; ``explore`` answers the design-space
+question (which policy wins, which static page size wins, per
+workload) with the surrogate-guided active sampler, simulating only
+the cells the answers actually depend on; ``experiment`` regenerates a
+paper figure/table (optionally on the quick workload subset);
+``report`` regenerates the sweep-style figures/tables in one pass
+through the parallel runner; ``list`` shows the available workloads,
+policies and experiments.  Invoking ``python -m repro`` with only
+flags (e.g. ``python -m repro --quick --jobs 4``) is shorthand for
+``report``.
+
+``--surrogate [on|off|BUDGET]`` (default: the ``REPRO_SURROGATE`` env
+flag) puts any sweep behind the corpus-trained cost model: cached
+results seed the model for free, a bounded exact budget (an integer
+sets it; default 20% of the grid) goes to the cells whose outcome is
+uncertain or decision-critical, and every other cell gets a
+:class:`~repro.surrogate.results.PredictedResult` carrying the model's
+error bar.  Predicted results never enter the result cache.
 
 ``experiment`` and ``report`` fan simulations out across processes
 (``--jobs``, default ``REPRO_JOBS`` or the CPU count) and reuse results
@@ -107,6 +121,22 @@ _POLICY_NAMES = (
 #: The sweep-style experiments the ``report`` command regenerates.
 _REPORT_EXPERIMENTS = ("fig6", "table2", "fig18", "fig22")
 
+#: The policy axis of the ``explore`` grid: the full static page-size
+#: sweep (the "best static size" answer) plus the adaptive schemes
+#: (the "winning policy" answer).
+_EXPLORE_POLICIES = tuple(
+    [f"S-{size // 1024}KB" for size in SWEEP_PAGE_SIZES]
+    + [
+        "CLAP",
+        "MGVM",
+        "IDEAL_C-NUMA",
+        "IDEAL_C-NUMA+INTER",
+        "GRIT",
+        "BARRE",
+        "IDEAL",
+    ]
+)
+
 
 def _coordinator_config(
     args: argparse.Namespace, *, force: bool = False
@@ -129,12 +159,33 @@ def _coordinator_config(
 
 
 def _make_runner(
-    args: argparse.Namespace, *, force_coordinator: bool = False
+    args: argparse.Namespace,
+    *,
+    force_coordinator: bool = False,
+    surrogate=None,
 ) -> SweepRunner:
     """Build the runner the sweep-style commands share, honouring flags."""
     if args.clear_cache:
         removed = ResultCache().clear()
         print(f"cleared {removed} cached result(s)")
+    from .surrogate import resolve_surrogate
+
+    if surrogate is None:
+        surrogate = getattr(args, "surrogate", None)
+    try:
+        # Resolve flag/env spellings here so ``--surrogate off`` beats
+        # an ambient REPRO_SURROGATE=1 (None would re-read the env).
+        surrogate = resolve_surrogate(surrogate)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        raise SystemExit(2)
+    if surrogate is not None and args.telemetry:
+        print(
+            "--surrogate cannot record telemetry (predicted cells never "
+            "run the pipeline); drop --telemetry",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     coordinator = _coordinator_config(args, force=force_coordinator)
     if coordinator is not None:
         if args.no_cache:
@@ -166,6 +217,8 @@ def _make_runner(
         telemetry_dir=args.telemetry_dir,
         coordinator=coordinator,
         trace_store=trace_store,
+        # resolve_surrogate(False) is None again, without the env probe
+        surrogate=surrogate if surrogate is not None else False,
     )
 
 
@@ -442,6 +495,71 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if runner.stats.failures else 0
 
 
+def _cmd_explore(args: argparse.Namespace) -> int:
+    from .policies import StaticPaging
+    from .surrogate import SurrogateConfig
+
+    names = list(args.workload)
+    if not names or (len(names) == 1 and names[0].lower() == "all"):
+        specs = list(SUITE)
+    else:
+        specs = [workload_by_name(name) for name in names]
+    config = (
+        SurrogateConfig(budget=args.budget)
+        if args.budget is not None
+        else SurrogateConfig()
+    )
+    runner = _make_runner(args, surrogate=config)
+    cells = [
+        SweepCell(spec, policy, seed=args.seed)
+        for spec in specs
+        for policy in _EXPLORE_POLICIES
+    ]
+    results = runner.run_cells(cells)
+
+    def fmt(result) -> str:
+        # ``~`` marks model predictions; exact simulations print bare.
+        mark = "~" if getattr(result, "predicted", False) else " "
+        return f"{mark}{result.performance:8.4f}"
+
+    print(
+        f"{'workload':>10s} {'winner':20s} {'perf':>9s} "
+        f"{'best-static':>11s} {'perf':>9s}"
+    )
+    predicted_any = False
+    for spec in specs:
+        rows = [
+            (cell, result)
+            for cell, result in zip(cells, results)
+            if cell.workload.abbr == spec.abbr and result is not None
+        ]
+        if not rows:
+            print(f"{spec.abbr:>10s} (no results)")
+            continue
+        _w_cell, w_result = max(rows, key=lambda cr: cr[1].performance)
+        s_cell, s_result = max(
+            (
+                (cell, result)
+                for cell, result in rows
+                if isinstance(cell.policy, StaticPaging)
+            ),
+            key=lambda cr: cr[1].performance,
+        )
+        predicted_any |= any(
+            getattr(result, "predicted", False) for _, result in rows
+        )
+        print(
+            f"{spec.abbr:>10s} {w_result.policy:20s} {fmt(w_result)} "
+            f"{size_label(s_cell.policy.page_size):>11s} {fmt(s_result)}"
+        )
+    if predicted_any:
+        print("values marked ~ are surrogate predictions (never cached)")
+    if runner.stats.cells:
+        print(runner.summary_line())
+    _print_failures(runner)
+    return 1 if runner.stats.failures else 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     module_name = _EXPERIMENTS.get(args.name)
     if module_name is None:
@@ -452,7 +570,9 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         __import__(f"repro.experiments.{module_name}").experiments,
         module_name,
     )
-    runner = _make_runner(args)
+    # Figure aggregation needs full SimResults; surrogate mode (even an
+    # ambient REPRO_SURROGATE=1) stays off for paper reproduction.
+    runner = _make_runner(args, surrogate=False)
     result = _run_experiment_module(module, args, runner)
     if args.bars:
         print(render_bars(result))
@@ -465,7 +585,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    runner = _make_runner(args)
+    runner = _make_runner(args, surrogate=False)
     for key in _REPORT_EXPERIMENTS:
         module_name = _EXPERIMENTS[key]
         module = getattr(
@@ -520,7 +640,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume the named coordinator sweep from its journal: "
              "completed cells are adopted, the rest re-run",
     )
+    sweep_parser.add_argument(
+        "--surrogate", nargs="?", const="on", default=None,
+        metavar="on|off|BUDGET",
+        help="sweep through the corpus-trained surrogate: cached "
+             "results train the cost model, only uncertain or "
+             "decision-critical cells are simulated exactly and the "
+             "rest are predicted with error bars (an integer sets the "
+             "exact-cell budget; default: the REPRO_SURROGATE env flag)",
+    )
     _add_runner_flags(sweep_parser)
+
+    explore_parser = sub.add_parser(
+        "explore",
+        help="surrogate-guided design-space exploration: the winning "
+             "policy and best static page size per workload under a "
+             "bounded exact-simulation budget",
+    )
+    explore_parser.add_argument(
+        "workload", nargs="*",
+        help="workload abbreviations (default: the full Table 2 suite)",
+    )
+    explore_parser.add_argument("--seed", type=int, default=7)
+    explore_parser.add_argument(
+        "--budget", type=int, default=None, metavar="N",
+        help="exact-simulation ceiling "
+             "(default: 20%% of the deduplicated grid)",
+    )
+    _add_runner_flags(explore_parser)
 
     exp_parser = sub.add_parser(
         "experiment", help="regenerate a paper figure/table"
@@ -543,7 +690,7 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser = sub.add_parser(
         "lint",
         help="run the repro-lint simulator-invariant static analysis "
-             "(RPR001-RPR006; see DESIGN.md section 8)",
+             "(RPR001-RPR007; see DESIGN.md section 8)",
     )
     from .analysis.cli import add_lint_arguments
 
@@ -567,6 +714,7 @@ def main(argv=None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "sweep": _cmd_sweep,
+        "explore": _cmd_explore,
         "experiment": _cmd_experiment,
         "report": _cmd_report,
         "lint": _cmd_lint,

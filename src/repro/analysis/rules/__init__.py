@@ -7,6 +7,7 @@ from . import (  # noqa: F401
     engine_parity,
     mutable_defaults,
     policy_contract,
+    predicted_result,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "engine_parity",
     "mutable_defaults",
     "policy_contract",
+    "predicted_result",
 ]

@@ -1,0 +1,172 @@
+"""RPR007 — predicted results never masquerade as simulations.
+
+The surrogate subsystem (PR 9) emits :class:`PredictedResult` — a model
+estimate standing in for a simulation.  Its whole value rests on being
+*unmistakable*: the moment a prediction subclasses ``SimResult``, grows
+cache-codec methods, or slips into the result cache, every downstream
+consumer (figures, fidelity gates, future corpus training) silently
+treats guesses as ground truth — and the corpus the next model trains
+on poisons itself.
+
+Four statically checkable invariants:
+
+* ``PredictedResult`` must not subclass ``SimResult`` — ``isinstance``
+  is the runtime discriminator and must keep telling them apart;
+* ``PredictedResult`` must not define ``to_dict``/``from_dict`` — the
+  result-cache storage codec must stay structurally unable to express
+  a prediction;
+* code under ``surrogate/`` must never call ``.put(...)`` — the
+  subsystem that *produces* predictions has no business writing the
+  result cache at all (exact results are flushed by the sweep runner);
+* ``ResultCache.put`` must keep its ``isinstance(..., SimResult)``
+  guard raising ``TypeError`` — the runtime backstop for every path
+  the other three checks cannot see.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..core import Finding, Project, SourceFile, dotted_name, register
+
+RESULTS_FILE = "surrogate/results.py"
+PREDICTED_CLASS = "PredictedResult"
+CACHE_FILE = "sim/parallel.py"
+CACHE_CLASS = "ResultCache"
+SIM_RESULT = "SimResult"
+SURROGATE_DIR = "surrogate"
+
+
+def _finding(src: SourceFile, node: ast.AST, message: str) -> Finding:
+    return Finding(
+        code="RPR007",
+        path=src.path,
+        rel=src.rel,
+        line=getattr(node, "lineno", 1),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+    )
+
+
+def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _in_surrogate_package(src: SourceFile) -> bool:
+    return SURROGATE_DIR in src.rel.split("/")[:-1]
+
+
+def _raises_type_error(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Raise) and sub.exc is not None:
+            exc = sub.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            if dotted_name(target) == "TypeError":
+                return True
+    return False
+
+
+def _has_sim_result_guard(func: ast.FunctionDef) -> bool:
+    """``put`` contains an ``isinstance(..., SimResult)`` test *and* a
+    ``raise TypeError`` — the refuse-predicted-results backstop."""
+    saw_isinstance = False
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and dotted_name(node.func) == "isinstance"
+            and len(node.args) == 2
+            and (dotted_name(node.args[1]) or "").split(".")[-1]
+            == SIM_RESULT
+        ):
+            saw_isinstance = True
+    return saw_isinstance and _raises_type_error(func)
+
+
+@register("RPR007", "predicted-result-containment")
+def check_predicted_result(project: Project) -> Iterator[Finding]:
+    """``PredictedResult`` stays structurally distinct from
+    ``SimResult`` (no subclassing, no cache codec), surrogate code
+    never writes the result cache, and ``ResultCache.put`` keeps its
+    runtime type guard (PR 9 invariants)."""
+    # --- the PredictedResult type itself, wherever it is (re)defined ---
+    for src in project.sources():
+        cls = _class_def(src.tree, PREDICTED_CLASS)
+        if cls is None:
+            continue
+        for base in cls.bases:
+            name = dotted_name(base)
+            if name and name.split(".")[-1] == SIM_RESULT:
+                yield _finding(
+                    src,
+                    cls,
+                    f"{PREDICTED_CLASS} subclasses {SIM_RESULT}: a "
+                    "prediction must never pass isinstance checks for "
+                    "exact results (cache guard, reporting, fidelity "
+                    "gates all rely on the distinction)",
+                )
+        for node in cls.body:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ) and node.name in ("to_dict", "from_dict"):
+                yield _finding(
+                    src,
+                    node,
+                    f"{PREDICTED_CLASS}.{node.name} defined: the "
+                    "result-cache codec must stay structurally unable "
+                    "to serialize predictions",
+                )
+
+    # --- no cache writes from the surrogate package ---
+    for src in project.sources():
+        if not _in_surrogate_package(src):
+            continue
+        for node in ast.walk(src.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "put"
+            ):
+                yield _finding(
+                    src,
+                    node,
+                    "surrogate code calls .put(): the surrogate "
+                    "produces predictions and must never write the "
+                    "result cache (exact results are flushed by the "
+                    "sweep runner)",
+                )
+
+    # --- the runtime backstop in ResultCache.put ---
+    cache_src = project.source(CACHE_FILE)
+    if cache_src is None:
+        return
+    cache_cls = _class_def(cache_src.tree, CACHE_CLASS)
+    if cache_cls is None:
+        return
+    put = next(
+        (
+            node
+            for node in cache_cls.body
+            if isinstance(node, ast.FunctionDef) and node.name == "put"
+        ),
+        None,
+    )
+    if put is None:
+        yield _finding(
+            cache_src,
+            cache_cls,
+            f"{CACHE_CLASS}.put is missing; the predicted-result "
+            "containment guard cannot be checked",
+        )
+        return
+    if not _has_sim_result_guard(put):
+        yield _finding(
+            cache_src,
+            put,
+            f"{CACHE_CLASS}.put lost its isinstance(..., {SIM_RESULT}) "
+            "guard raising TypeError: the cache would silently accept "
+            "predicted (or foreign) results as ground truth",
+        )

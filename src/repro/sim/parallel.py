@@ -69,6 +69,7 @@ from typing import (
     TYPE_CHECKING,
     Dict,
     Iterable,
+    Iterator,
     List,
     Optional,
     Sequence,
@@ -302,12 +303,39 @@ class ResultCache:
                 stacklevel=3,
             )
 
+    def iter_results(self) -> "Iterator[Tuple[str, SimResult]]":
+        """Yield ``(fingerprint, result)`` for every readable entry.
+
+        This is the corpus API the surrogate trains on: it walks the
+        store in sorted (deterministic) order, decoding each entry via
+        :meth:`get` — so legacy/old-schema entries are silently skipped
+        and corrupt entries are quarantined, never raised.  Entries
+        already moved to ``corrupt/`` are outside the ``??/*.json``
+        layout and are not visited at all.
+        """
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            result = self.get(path.stem)
+            if result is not None:
+                yield path.stem, result
+
     def put(self, key: str, result: SimResult) -> None:
         """Store ``result`` durably (checksummed, tmp + fsync + rename).
 
         A failed write degrades the cache (see class docstring) instead
-        of raising.
+        of raising.  Only genuine :class:`SimResult` instances are
+        accepted: a :class:`~repro.surrogate.results.PredictedResult`
+        (or anything else) raises ``TypeError`` — predictions must never
+        be persisted as if an engine produced them (lint rule RPR007
+        pins the static side of this invariant).
         """
+        if not isinstance(result, SimResult):
+            raise TypeError(
+                "ResultCache.put stores exact simulation results only; "
+                f"got {type(result).__name__} (predicted or foreign "
+                "results must never enter the cache)"
+            )
         if self.write_disabled:
             return
         try:
@@ -458,6 +486,12 @@ class SweepStats:
     #: each attach shares the store archive's pages instead of owning
     #: a copy, so this is the memory the store saved
     trace_bytes_shared: int = 0
+    #: grid cells answered by the surrogate model (a
+    #: :class:`~repro.surrogate.results.PredictedResult`) instead of an
+    #: exact simulation
+    cells_predicted: int = 0
+    #: active-sampling fit/eliminate rounds across surrogate sweeps
+    surrogate_rounds: int = 0
     wall_seconds: float = 0.0
     failures: List[CellFailure] = dataclasses.field(default_factory=list)
 
@@ -487,6 +521,11 @@ class SweepStats:
             parts.append(f"{self.leases_stolen} leases stolen")
         if self.entries_quarantined:
             parts.append(f"{self.entries_quarantined} quarantined")
+        if self.cells_predicted:
+            parts.append(
+                f"{self.cells_predicted} predicted "
+                f"({self.surrogate_rounds} surrogate rounds)"
+            )
         if self.traces_materialized or self.traces_attached:
             parts.append(f"{self.traces_materialized} traces materialized")
             parts.append(
@@ -652,6 +691,7 @@ class SweepRunner:
         telemetry: Optional[bool] = None,
         telemetry_dir: Optional[Union[str, Path]] = None,
         trace_store: Union[None, bool, str, Path] = None,
+        surrogate: Union[None, bool, str, int, "SurrogateConfig"] = None,
     ) -> None:
         self.jobs = resolve_jobs(jobs)
         self.cache: Optional[ResultCache] = (
@@ -688,6 +728,18 @@ class SweepRunner:
         self.backoff_seed = backoff_seed
         self.chaos = chaos
         self.coordinator = coordinator
+        from ..surrogate.active import resolve_surrogate
+
+        #: surrogate-guided pruning (``--surrogate``/``REPRO_SURROGATE``):
+        #: when set, ``run_cells`` simulates only the cells the active
+        #: sampler deems decision-relevant and returns
+        #: :class:`~repro.surrogate.results.PredictedResult` for the rest
+        self.surrogate = resolve_surrogate(surrogate)
+        if self.surrogate is not None and self.telemetry:
+            raise ValueError(
+                "surrogate mode cannot record telemetry: predicted "
+                "cells never simulate, so they have no stages to dump"
+            )
         #: set after a coordinator run: the (possibly derived) sweep id
         #: a later ``--resume`` can name
         self.last_sweep_id: Optional[str] = None
@@ -720,14 +772,69 @@ class SweepRunner:
         that ultimately fails yields ``None`` in the returned list and a
         :class:`CellFailure` in ``stats.failures``; under ``'raise'``
         every returned entry is a :class:`SimResult`.
+
+        With ``surrogate`` enabled the grid is *pruned*: only the cells
+        the active sampler finds decision-relevant run exactly (through
+        this same machinery, so they are bit-identical to a plain sweep
+        and cached normally), and every other entry in the returned
+        list is a :class:`~repro.surrogate.results.PredictedResult`
+        from the fitted cost model.
         """
+        cells = [
+            c if isinstance(c, SweepCell) else SweepCell(*c) for c in cells
+        ]
+        if self.surrogate is not None:
+            return self._run_surrogate(cells)
+        return self._run_exact(cells)
+
+    def _run_surrogate(self, cells: List[SweepCell]) -> List[object]:
+        """Surrogate-guided execution: see :func:`repro.surrogate.
+        active.explore` for the sampling loop itself."""
+        from ..surrogate.active import explore
+
+        start = time.perf_counter()
+        wall_before = self.stats.wall_seconds
+        keys = [cell_fingerprint(c) for c in cells]
+        corpus: Dict[str, SimResult] = {}
+        if self.cache is not None:
+            wanted = set(keys)
+            corpus = {
+                key: result
+                for key, result in self.cache.iter_results()
+                if key in wanted
+            }
+
+        def exact_fn(indices: List[int]) -> Dict[int, Optional[SimResult]]:
+            batch_results = self._run_exact([cells[i] for i in indices])
+            return dict(zip(indices, batch_results))
+
+        outcome = explore(
+            cells, exact_fn, self.surrogate, corpus=corpus, keys=keys
+        )
+        st = outcome.stats
+        # Exact batches accounted for themselves inside _run_exact; add
+        # what never went through it (corpus hits, predictions, dupes)
+        # and replace nested wall accumulation with the true elapsed
+        # window so model fitting time is counted too.
+        self.stats.cells += len(cells) - st.exact_simulated
+        self.stats.cache_hits += st.corpus_hits
+        self.stats.deduped += len(cells) - st.unique_cells
+        self.stats.cells_predicted += sum(
+            1 for r in outcome.results if getattr(r, "predicted", False)
+        )
+        self.stats.surrogate_rounds += st.rounds
+        self.stats.wall_seconds = (
+            wall_before + time.perf_counter() - start
+        )
+        return outcome.results
+
+    def _run_exact(
+        self, cells: List[SweepCell]
+    ) -> List[Optional[SimResult]]:
         start = time.perf_counter()
         quarantined_at_start = (
             self.cache.quarantined if self.cache is not None else 0
         )
-        cells = [
-            c if isinstance(c, SweepCell) else SweepCell(*c) for c in cells
-        ]
         if self.telemetry:
             for cell in cells:
                 cell.telemetry = True

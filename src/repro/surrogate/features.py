@@ -1,0 +1,264 @@
+"""Deterministic feature extraction: ``SweepCell`` -> numeric vector.
+
+The surrogate model never sees a trace; it sees the *inputs* that
+determine one — the same inputs :func:`~repro.sim.parallel.
+cell_fingerprint` hashes for the result cache.  Each cell maps to a
+fixed-length float vector whose coordinates are named by
+:data:`FEATURE_NAMES`:
+
+* workload structure: footprint, per-pattern byte fractions
+  (partitioned/contiguous/shared), chiplet-locality granularity
+  (``group_pages``), scan order, noise, predictability, wave/touch
+  densities, thread-block count;
+* system shape: chiplet count, SMs per chiplet, scale, interleave mode;
+* policy: the :data:`~repro.policies.contract.CAPABILITY_FLAGS`
+  snapshot (the same flags ``policy_fingerprint`` records), the static
+  page size when the policy has one, and a one-hot over the known
+  policy families;
+* run knobs: seed, remote-cache mode, and the timing-model constants.
+
+Extraction is **deterministic across processes**: no ``hash()``, no
+``id()``, no iteration over unordered collections — two processes (or
+two machines) extracting the same cell produce bit-identical vectors,
+which is what lets a model fitted in one process score cells fanned out
+from another.  ``tests/test_surrogate.py`` pins this down with a
+subprocess round trip and a fuzz case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import fields as dataclass_fields
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from ..arch.address import InterleavePolicy
+from ..config import baseline_config
+from ..gmmu.walker import PtePlacement
+from ..trace.workload import Pattern, Scan
+from ..units import PAGE_64K
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..sim.parallel import SweepCell
+
+#: Policy families the one-hot encoding distinguishes.  A class outside
+#: this list lands in the ``policy_is_other`` bucket — the capability
+#: flags still describe it, so unknown policies degrade gracefully
+#: instead of failing extraction.
+POLICY_CLASSES: Tuple[str, ...] = (
+    "BarreChordPolicy",
+    "CNumaPolicy",
+    "ClapPolicy",
+    "ClapSaPolicy",
+    "GritPolicy",
+    "IdealPolicy",
+    "MgvmPolicy",
+    "SaStaticPolicy",
+    "StaticPaging",
+)
+
+def _timing_field_names() -> Tuple[str, ...]:
+    """Timing-model constants, in ``TimingParams`` declaration order."""
+    from ..sim.timing import TimingParams
+
+    return tuple(f.name for f in dataclass_fields(TimingParams))
+
+
+def _log2(value: float) -> float:
+    """``log2`` that maps non-positive inputs to 0 (absent feature)."""
+    return math.log2(value) if value > 0 else 0.0
+
+
+def _build_feature_names() -> Tuple[str, ...]:
+    names: List[str] = [
+        # --- system shape ---
+        "num_chiplets_log2",
+        "sms_per_chiplet",
+        "scale_log2",
+        "interleave_naive",
+        "remote_cache_on",
+        "seed",
+        # --- workload structure ---
+        "tb_count_log2",
+        "mem_fraction",
+        "n_structures",
+        "n_kernels",
+        "total_pages_log2",
+        "min_struct_pages_log2",
+        "max_struct_pages_log2",
+        "frac_bytes_partitioned",
+        "frac_bytes_contiguous",
+        "frac_bytes_shared",
+        "frac_bytes_strided",
+        "frac_bytes_unpredictable",
+        "group_pages_log2_mean",
+        "noise_mean",
+        "noise_max",
+        "waves_mean",
+        "lines_per_touch_mean",
+        # --- policy capability flags (the contract snapshot) ---
+        "policy_coalescing",
+        "policy_pattern_coalescing",
+        "policy_ideal_translation",
+        "policy_wants_page_stats",
+        "policy_num_epochs",
+        "policy_pte_local",
+        "policy_page_size_log2",
+        "policy_intermediate",
+        # CLAP-family tunables (Section 4 ablation knobs); zero for
+        # policies that do not define them
+        "policy_thres",
+        "policy_k",
+        "policy_ratio_target",
+        "policy_remote_tracker",
+        "policy_base_page_log2",
+        # --- page-size x locality interactions ---
+        # A linear model cannot express "the best page size depends on
+        # the locality granularity", which is the paper's core effect:
+        # a page larger than a structure's chiplet-locality group spans
+        # multiple owners and every excess doubling sends more of its
+        # accesses remote.  These hinge features hand the regression
+        # that physics directly (zero for non-static policies).
+        "page_minus_group_log2",
+        "page_over_group_hinge",
+        "page_over_struct_hinge",
+        "page_hinge_x_noise",
+    ]
+    names.extend(f"policy_is_{cls}" for cls in POLICY_CLASSES)
+    names.append("policy_is_other")
+    names.extend(f"timing_{name}" for name in _timing_field_names())
+    return tuple(names)
+
+
+#: Coordinate names of the vectors :func:`feature_vector` produces.
+FEATURE_NAMES: Tuple[str, ...] = _build_feature_names()
+
+
+def feature_dict(cell: "SweepCell") -> Dict[str, float]:
+    """Named features for one cell (the debuggable form).
+
+    Every value is a plain finite ``float``; the mapping covers exactly
+    :data:`FEATURE_NAMES`.
+    """
+    spec = cell.workload
+    policy = cell.policy
+    config = cell.config if cell.config is not None else baseline_config()
+
+    total_bytes = float(sum(s.sim_size for s in spec.structures))
+    per_pattern = {pattern: 0.0 for pattern in Pattern}
+    strided_bytes = 0.0
+    unpredictable_bytes = 0.0
+    group_log2 = 0.0
+    noise_weighted = 0.0
+    waves_weighted = 0.0
+    lines_weighted = 0.0
+    for s in spec.structures:
+        weight = s.sim_size / total_bytes
+        per_pattern[s.pattern] += weight
+        if s.scan is Scan.BLOCK_STRIDED:
+            strided_bytes += weight
+        if not s.sa_predictable:
+            unpredictable_bytes += weight
+        group_log2 += weight * _log2(s.group_pages)
+        noise_weighted += weight * s.noise
+        waves_weighted += weight * s.waves
+        lines_weighted += weight * s.lines_per_touch
+
+    features: Dict[str, float] = {
+        "num_chiplets_log2": _log2(config.num_chiplets),
+        "sms_per_chiplet": float(config.sms_per_chiplet),
+        "scale_log2": _log2(config.scale),
+        "interleave_naive": float(cell.interleave is InterleavePolicy.NAIVE),
+        "remote_cache_on": float(cell.remote_cache is not None),
+        "seed": float(cell.seed),
+        "tb_count_log2": _log2(spec.tb_count),
+        "mem_fraction": float(spec.mem_fraction),
+        "n_structures": float(len(spec.structures)),
+        "n_kernels": float(len(spec.effective_kernels)),
+        "total_pages_log2": _log2(total_bytes / PAGE_64K),
+        "min_struct_pages_log2": _log2(
+            min(s.num_pages for s in spec.structures)
+        ),
+        "max_struct_pages_log2": _log2(
+            max(s.num_pages for s in spec.structures)
+        ),
+        "frac_bytes_partitioned": per_pattern[Pattern.PARTITIONED],
+        "frac_bytes_contiguous": per_pattern[Pattern.CONTIGUOUS],
+        "frac_bytes_shared": per_pattern[Pattern.SHARED],
+        "frac_bytes_strided": strided_bytes,
+        "frac_bytes_unpredictable": unpredictable_bytes,
+        "group_pages_log2_mean": group_log2,
+        "noise_mean": noise_weighted,
+        "noise_max": max(s.noise for s in spec.structures),
+        "waves_mean": waves_weighted,
+        "lines_per_touch_mean": lines_weighted,
+        "policy_coalescing": float(bool(policy.coalescing)),
+        "policy_pattern_coalescing": float(bool(policy.pattern_coalescing)),
+        "policy_ideal_translation": float(bool(policy.ideal_translation)),
+        "policy_wants_page_stats": float(bool(policy.wants_page_stats)),
+        "policy_num_epochs": float(policy.num_epochs),
+        "policy_pte_local": float(policy.pte_placement is PtePlacement.LOCAL),
+        "policy_page_size_log2": _log2(getattr(policy, "page_size", 0)),
+        "policy_intermediate": float(
+            bool(getattr(policy, "intermediate", False))
+        ),
+        "policy_thres": float(getattr(policy, "thres", 0.0)),
+        "policy_k": float(getattr(policy, "k", 0.0)),
+        "policy_ratio_target": float(getattr(policy, "ratio_target", 0.0)),
+        "policy_remote_tracker": float(
+            bool(getattr(policy, "use_remote_tracker", False))
+        ),
+        "policy_base_page_log2": _log2(
+            getattr(policy, "base_page_size", 0)
+        ),
+    }
+    page_log2 = features["policy_page_size_log2"]
+    minus = over = 0.0
+    if page_log2 > 0.0:
+        for s in spec.structures:
+            weight = s.sim_size / total_bytes
+            if s.pattern is Pattern.PARTITIONED:
+                group_bytes = s.group_pages * PAGE_64K
+            elif s.pattern is Pattern.CONTIGUOUS:
+                # Each chiplet owns one contiguous slab.
+                group_bytes = max(
+                    PAGE_64K, s.sim_size // config.num_chiplets
+                )
+            else:  # SHARED: no locality for any page size to violate
+                continue
+            delta = page_log2 - _log2(group_bytes)
+            minus += weight * delta
+            over += weight * max(0.0, delta)
+    features["page_minus_group_log2"] = minus
+    features["page_over_group_hinge"] = over
+    features["page_over_struct_hinge"] = (
+        max(0.0, page_log2 - _log2(min(s.sim_size for s in spec.structures)))
+        if page_log2 > 0.0
+        else 0.0
+    )
+    features["page_hinge_x_noise"] = over * noise_weighted
+
+    cls_name = type(policy).__name__
+    for known in POLICY_CLASSES:
+        features[f"policy_is_{known}"] = float(cls_name == known)
+    features["policy_is_other"] = float(cls_name not in POLICY_CLASSES)
+    for name in _timing_field_names():
+        features[f"timing_{name}"] = float(getattr(cell.timing, name))
+    return features
+
+
+def feature_vector(cell: "SweepCell") -> np.ndarray:
+    """The cell's features as a float64 vector ordered by
+    :data:`FEATURE_NAMES`."""
+    values = feature_dict(cell)
+    return np.array(
+        [values[name] for name in FEATURE_NAMES], dtype=np.float64
+    )
+
+
+def feature_matrix(cells) -> np.ndarray:
+    """Stacked :func:`feature_vector` rows for a cell sequence."""
+    if not cells:
+        return np.empty((0, len(FEATURE_NAMES)), dtype=np.float64)
+    return np.stack([feature_vector(cell) for cell in cells])

@@ -1,0 +1,152 @@
+"""The cheap cost model: ridge regression blended with k-NN, NumPy only.
+
+Two deliberately simple estimators share one standardized feature
+space:
+
+* **ridge** captures the global trend (performance falls with remote
+  fraction, rises with locality granularity, ...) and extrapolates
+  smoothly into unseen corners of the grid;
+* **k-NN** (inverse-distance weighted over the ``k`` nearest training
+  cells) captures the local, non-linear structure — a page-size sweep
+  of one workload is a curve the linear model cannot bend around, but
+  neighbouring sizes predict each other almost exactly.
+
+The blend leans on k-NN when training data is nearby and on ridge when
+it is not.  *Uncertainty* is what the active-sampling loop actually
+consumes, and it comes from three signals, each cheap and
+distribution-free:
+
+* distance to the nearest training cells (far from everything seen =>
+  uncertain),
+* disagreement between the two estimators (the global trend and the
+  local neighbourhood telling different stories),
+* spread of the neighbours' targets (the response surface is steep
+  here even if we have samples).
+
+Everything is deterministic: fitting is a closed-form solve, prediction
+is pure arithmetic, and no RNG is involved anywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+#: Ridge regularization strength on standardized features.
+DEFAULT_RIDGE_LAMBDA = 1.0
+
+#: Neighbours consulted by the k-NN estimator.
+DEFAULT_KNN_K = 5
+
+
+class SurrogateModel:
+    """Ridge + k-NN regressor with an uncertainty estimate.
+
+    ``fit`` takes a feature matrix (rows = cells, columns =
+    :data:`~repro.surrogate.features.FEATURE_NAMES`) and one target
+    vector; ``predict`` returns ``(mean, uncertainty)`` arrays of the
+    query rows.  Uncertainty is in target units (comparable to the
+    prediction itself), calibrated from the training targets' spread.
+    """
+
+    def __init__(
+        self,
+        ridge_lambda: float = DEFAULT_RIDGE_LAMBDA,
+        knn_k: int = DEFAULT_KNN_K,
+    ) -> None:
+        if ridge_lambda <= 0:
+            raise ValueError("ridge_lambda must be positive")
+        if knn_k < 1:
+            raise ValueError("knn_k must be >= 1")
+        self.ridge_lambda = float(ridge_lambda)
+        self.knn_k = int(knn_k)
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._weights: Optional[np.ndarray] = None
+        self._train_x: Optional[np.ndarray] = None
+        self._train_y: Optional[np.ndarray] = None
+        self._target_scale: float = 1.0
+
+    @property
+    def n_trained(self) -> int:
+        """Training rows the model was last fitted on (0 = unfitted)."""
+        return 0 if self._train_y is None else int(len(self._train_y))
+
+    def fit(self, features: np.ndarray, targets: np.ndarray) -> None:
+        """Fit both estimators on ``(features, targets)``.
+
+        Refitting replaces the previous fit entirely — the active loop
+        refits from scratch every round, which at corpus sizes of a few
+        hundred cells costs microseconds.
+        """
+        x = np.asarray(features, dtype=np.float64)
+        y = np.asarray(targets, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 1 or len(x) != len(y):
+            raise ValueError(
+                f"expected (n, d) features and (n,) targets, got "
+                f"{x.shape} and {y.shape}"
+            )
+        if len(x) == 0:
+            raise ValueError("cannot fit on an empty corpus")
+        self._mean = x.mean(axis=0)
+        std = x.std(axis=0)
+        # Constant columns carry no information for *this* corpus; unit
+        # std maps them to exactly 0 after centering instead of NaN.
+        std[std == 0.0] = 1.0
+        self._std = std
+        z = (x - self._mean) / self._std
+        # Closed-form ridge with an unpenalized intercept column.
+        design = np.hstack([z, np.ones((len(z), 1))])
+        penalty = self.ridge_lambda * np.eye(design.shape[1])
+        penalty[-1, -1] = 0.0
+        self._weights = np.linalg.solve(
+            design.T @ design + penalty, design.T @ y
+        )
+        self._train_x = z
+        self._train_y = y
+        spread = float(y.std())
+        self._target_scale = spread if spread > 0 else max(
+            abs(float(y.mean())), 1.0
+        )
+
+    def predict(self, features: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """``(mean, uncertainty)`` for each query row.
+
+        Raises if :meth:`fit` has not run — the active loop always seeds
+        the corpus before asking for predictions.
+        """
+        if self._train_x is None:
+            raise RuntimeError("SurrogateModel.predict before fit")
+        x = np.asarray(features, dtype=np.float64)
+        if x.ndim == 1:
+            x = x[None, :]
+        z = (x - self._mean) / self._std
+        ridge = np.hstack([z, np.ones((len(z), 1))]) @ self._weights
+
+        # Pairwise distances to the training rows, normalized per
+        # feature dimension so no single coordinate dominates.
+        dim = z.shape[1]
+        dists = np.sqrt(
+            ((z[:, None, :] - self._train_x[None, :, :]) ** 2).sum(axis=2)
+            / dim
+        )
+        k = min(self.knn_k, len(self._train_y))
+        order = np.argsort(dists, axis=1, kind="stable")[:, :k]
+        near = np.take_along_axis(dists, order, axis=1)
+        targets = self._train_y[order]
+        inv = 1.0 / (near + 1e-9)
+        weights = inv / inv.sum(axis=1, keepdims=True)
+        knn = (weights * targets).sum(axis=1)
+
+        # Blend: trust the neighbourhood when it is close (distance in
+        # standardized units well under 1), the global trend otherwise.
+        nearest = near[:, 0]
+        alpha = 1.0 / (1.0 + nearest)
+        mean = alpha * knn + (1.0 - alpha) * ridge
+
+        local_spread = targets.std(axis=1) if k > 1 else np.zeros(len(z))
+        disagreement = np.abs(ridge - knn)
+        distance_term = nearest * self._target_scale
+        uncertainty = distance_term + 0.5 * disagreement + 0.5 * local_spread
+        return mean, uncertainty

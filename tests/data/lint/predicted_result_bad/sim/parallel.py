@@ -1,0 +1,9 @@
+"""Bad fixture: ResultCache.put without the type guard."""
+
+
+class ResultCache:
+    def __init__(self):
+        self.entries = {}
+
+    def put(self, key, result):  # accepts anything, even predictions
+        self.entries[key] = result

@@ -1,0 +1,5 @@
+"""Fixture stand-in for the exact result type."""
+
+
+class SimResult:
+    performance = 0.0

@@ -1,0 +1,6 @@
+"""Bad fixture: surrogate loop writing predictions into the cache."""
+
+
+def emit(cache, key, prediction):
+    cache.put(key, prediction)  # surrogate code must never cache
+    return prediction

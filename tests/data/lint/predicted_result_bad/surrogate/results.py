@@ -1,0 +1,14 @@
+"""Bad fixture: PredictedResult impersonating an exact SimResult."""
+
+from sim.results import SimResult
+
+
+class PredictedResult(SimResult):  # subclassing: isinstance lies
+    predicted = True
+
+    def to_dict(self):  # cache codec on a prediction
+        return {"performance": self.performance, "predicted": True}
+
+    @classmethod
+    def from_dict(cls, data):  # and the way back in
+        return cls(**data)

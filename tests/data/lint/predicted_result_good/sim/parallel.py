@@ -1,0 +1,15 @@
+"""Good fixture: ResultCache.put refusing non-SimResult payloads."""
+
+from .results import SimResult
+
+
+class ResultCache:
+    def __init__(self):
+        self.entries = {}
+
+    def put(self, key, result):
+        if not isinstance(result, SimResult):
+            raise TypeError(
+                "ResultCache.put stores exact simulation results only"
+            )
+        self.entries[key] = result

@@ -1,0 +1,15 @@
+"""Good fixture: PredictedResult as a distinct, codec-free type."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PredictedResult:
+    workload: str
+    policy: str
+    performance: float
+    uncertainty: float
+    predicted: bool = True
+
+    def speedup_over(self, baseline):
+        return self.performance / baseline.performance

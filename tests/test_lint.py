@@ -51,7 +51,7 @@ def messages(findings):
 # ---------------------------------------------------------------- registry
 
 
-def test_all_six_rules_registered():
+def test_all_seven_rules_registered():
     rules = all_rules()
     assert sorted(rules) == [
         "RPR001",
@@ -60,6 +60,7 @@ def test_all_six_rules_registered():
         "RPR004",
         "RPR005",
         "RPR006",
+        "RPR007",
     ]
     for rule in rules.values():
         assert rule.doc, f"{rule.code} has no docstring description"
@@ -205,6 +206,27 @@ def test_durable_writes_good_fixture_clean():
     assert lint_fixture("durable_writes_good", select=["RPR006"]) == []
 
 
+# -------------------------------------------- RPR007 predicted containment
+
+
+def test_predicted_result_bad_fixture_fires():
+    findings = lint_fixture("predicted_result_bad", select=["RPR007"])
+    assert codes(findings) == ["RPR007"]
+    text = messages(findings)
+    assert "PredictedResult subclasses SimResult" in text
+    assert "PredictedResult.to_dict defined" in text
+    assert "PredictedResult.from_dict defined" in text
+    assert "surrogate code calls .put()" in text
+    assert "lost its isinstance(..., SimResult) guard" in text
+    # subclass, to_dict, from_dict, .put call, missing cache guard.
+    assert len(findings) == 5
+
+
+def test_predicted_result_good_fixture_clean():
+    # Distinct frozen dataclass, corpus reads only, guarded cache put.
+    assert lint_fixture("predicted_result_good", select=["RPR007"]) == []
+
+
 # ------------------------------------------------- suppression and walking
 
 
@@ -348,7 +370,7 @@ def test_cli_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                 "RPR006"):
+                 "RPR006", "RPR007"):
         assert code in proc.stdout
 
 
@@ -489,6 +511,38 @@ def test_bulk_proof_without_audit_table_fails_lint(mutable_tree):
     findings = run_lint(Project(root=mutable_tree), select=["RPR004"])
     assert any(
         "bulk_proven is not derived from" in f.message for f in findings
+    )
+
+
+def test_unguarded_cache_put_reintroduction_fails_lint(mutable_tree):
+    # The PR 9 bug shape: dropping ResultCache.put's type guard would
+    # let a PredictedResult be cached (and trained on) as ground truth.
+    reintroduce(
+        mutable_tree / "sim" / "parallel.py",
+        "        if not isinstance(result, SimResult):",
+        "        if False:",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR007"])
+    assert any(
+        "lost its isinstance(..., SimResult) guard" in f.message
+        and f.rel == "sim/parallel.py"
+        for f in findings
+    )
+
+
+def test_predicted_result_cache_codec_reintroduction_fails_lint(
+    mutable_tree,
+):
+    reintroduce(
+        mutable_tree / "surrogate" / "results.py",
+        "    def speedup_over(self, baseline) -> float:",
+        "    def to_dict(self):\n"
+        "        return {}\n\n"
+        "    def speedup_over(self, baseline) -> float:",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR007"])
+    assert any(
+        "PredictedResult.to_dict defined" in f.message for f in findings
     )
 
 

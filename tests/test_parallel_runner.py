@@ -278,3 +278,79 @@ def test_degraded_cache_still_serves_reads(tmp_path):
     cache.put(key, result)
     cache.write_disabled = True
     assert cache.get(key) == result
+
+
+# --- the corpus API (surrogate training reads) --------------------------
+
+
+def test_iter_results_walks_store_in_sorted_order(tmp_path):
+    cache = ResultCache(tmp_path)
+    cells = sweep_cells()
+    # Fingerprint before running: stateful policies (CLAP's trackers)
+    # hash differently once a simulation has mutated them.
+    keys = [cell_fingerprint(cell) for cell in cells]
+    results = SweepRunner(jobs=1, cache_dir=tmp_path).run_cells(cells)
+    listed = list(cache.iter_results())
+    assert [key for key, _ in listed] == sorted(key for key, _ in listed)
+    by_key = dict(listed)
+    for key, result in zip(keys, results):
+        assert by_key[key] == result
+
+
+def test_iter_results_skips_legacy_and_quarantines_corrupt(tmp_path):
+    cache = ResultCache(tmp_path)
+    cells = sweep_cells()
+    keys = [cell_fingerprint(cell) for cell in cells]
+    SweepRunner(jobs=1, cache_dir=tmp_path).run_cells(cells)
+    # A pre-v4 single-document entry is a silent schema miss ...
+    legacy = cache.path_for(keys[0])
+    legacy.write_text(json.dumps({"schema": 1, "performance": 1.0}))
+    # ... while a torn entry is quarantined (once, with a warning).
+    torn = cache.path_for(keys[1])
+    torn.write_bytes(torn.read_bytes()[:17])
+    with pytest.warns(RuntimeWarning, match="quarantined"):
+        survivors = dict(cache.iter_results())
+    assert set(survivors) == set(keys[2:])
+    assert legacy.exists()  # legacy entries are left alone
+    assert not torn.exists()
+    assert cache.quarantined == 1
+
+
+def test_cache_put_guard_rejects_non_simresults(tmp_path):
+    from repro.surrogate import PredictedResult
+
+    cache = ResultCache(tmp_path)
+    prediction = PredictedResult(
+        workload="PAR", policy="S-64KB", performance=1.0, remote_ratio=0.0,
+        uncertainty=0.05, fingerprint="cd" * 32, n_trained=8,
+    )
+    with pytest.raises(TypeError, match="exact simulation results only"):
+        cache.put("cd" * 32, prediction)
+    assert not cache.path_for("cd" * 32).exists()
+
+
+def test_surrogate_summary_line_reports_predictions(tmp_path):
+    specs = [small_spec(abbr=f"PR{i}") for i in range(4)]
+    cells = [
+        SweepCell(spec, StaticPaging(size))
+        for spec in specs
+        for size in (PAGE_64K, 4 * PAGE_64K, PAGE_2M)
+    ]
+    from repro.surrogate import SurrogateConfig
+
+    runner = SweepRunner(
+        jobs=1,
+        cache_dir=tmp_path,
+        surrogate=SurrogateConfig(budget=5, min_grid=4, min_seed=1,
+                                  rounds=2),
+    )
+    results = runner.run_cells(cells)
+    assert len(results) == len(cells)
+    assert runner.stats.cells == len(cells)
+    assert runner.stats.cells_predicted == sum(
+        getattr(r, "predicted", False) for r in results
+    )
+    assert runner.stats.cells_predicted > 0
+    line = runner.summary_line()
+    assert f"{runner.stats.cells_predicted} predicted" in line
+    assert "surrogate rounds" in line
