@@ -22,7 +22,22 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from .dataflow.facts import ProjectFacts
 
 #: Directory names never descended into when discovering sources.  Keeps
 #: ``__pycache__`` droppings, VCS metadata and tool caches out of every
@@ -84,7 +99,10 @@ class SourceFile:
         self.text = path.read_text(encoding="utf-8")
         self.lines = self.text.splitlines()
         self._tree: Optional[ast.Module] = None
-        self._suppressions: Optional[Dict[int, Optional[frozenset]]] = None
+        self._nodes: Optional[List[ast.AST]] = None
+        self._suppressions: Optional[
+            Dict[int, Optional[FrozenSet[str]]]
+        ] = None
 
     @property
     def tree(self) -> ast.Module:
@@ -92,10 +110,20 @@ class SourceFile:
             self._tree = ast.parse(self.text, filename=str(self.path))
         return self._tree
 
-    def _suppression_map(self) -> Dict[int, Optional[frozenset]]:
+    def nodes(self) -> List[ast.AST]:
+        """``ast.walk(self.tree)``, flattened once and memoized.
+
+        Several whole-tree rules sweep the same few files; sharing one
+        walk keeps the warm (facts-cached) lint path cheap.
+        """
+        if self._nodes is None:
+            self._nodes = list(ast.walk(self.tree))
+        return self._nodes
+
+    def _suppression_map(self) -> Dict[int, Optional[FrozenSet[str]]]:
         """line -> suppressed codes (``None`` = all codes) for the file."""
         if self._suppressions is None:
-            found: Dict[int, Optional[frozenset]] = {}
+            found: Dict[int, Optional[FrozenSet[str]]] = {}
             for lineno, line in enumerate(self.lines, start=1):
                 if "repro-lint" not in line:
                     continue
@@ -120,7 +148,7 @@ class SourceFile:
 
 
 #: Sentinel distinguishing "no comment on this line" from "bare ignore".
-_NOT_SUPPRESSED = frozenset({"\0not-suppressed"})
+_NOT_SUPPRESSED: FrozenSet[str] = frozenset({"\0not-suppressed"})
 
 
 @dataclass
@@ -135,6 +163,17 @@ class Project:
 
     root: Path
     _sources: Optional[List[SourceFile]] = field(default=None, repr=False)
+    _facts: Optional["ProjectFacts"] = field(default=None, repr=False)
+
+    def facts(self, jobs: int = 1) -> "ProjectFacts":
+        """The project's dataflow facts (built once, cached for the
+        run; per-file records come from the incremental on-disk cache
+        so a warm build parses only changed files)."""
+        if self._facts is None:
+            from .dataflow.facts import build_project_facts
+
+            self._facts = build_project_facts(self, jobs=jobs)
+        return self._facts
 
     def sources(self) -> List[SourceFile]:
         if self._sources is None:
@@ -169,24 +208,25 @@ class Project:
         return None
 
 
+RuleCheck = Callable[[Project], Iterable[Finding]]
+
+
 @dataclass(frozen=True)
 class Rule:
     code: str
     name: str
     doc: str
-    check: Callable[[Project], Iterable[Finding]]
+    check: RuleCheck
 
 
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def register(
-    code: str, name: str
-) -> Callable[[Callable[[Project], Iterable[Finding]]], Callable]:
+def register(code: str, name: str) -> Callable[[RuleCheck], RuleCheck]:
     """Register a rule function under ``code`` (its docstring is the
     human description shown by ``repro lint --list-rules``)."""
 
-    def wrap(fn: Callable[[Project], Iterable[Finding]]) -> Callable:
+    def wrap(fn: RuleCheck) -> RuleCheck:
         if code in _REGISTRY:
             raise ValueError(f"duplicate rule code {code}")
         _REGISTRY[code] = Rule(
@@ -205,10 +245,19 @@ def all_rules() -> Dict[str, Rule]:
 
 
 def run_lint(
-    project: Project, select: Optional[Sequence[str]] = None
+    project: Project,
+    select: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[Finding]:
     """Run (selected) rules over ``project``; inline-suppressed findings
-    are dropped here, baseline filtering is the caller's concern."""
+    are dropped here, baseline filtering is the caller's concern.
+
+    ``jobs`` > 1 fans per-file fact extraction out over worker
+    processes; rule evaluation itself stays in-process, so findings are
+    byte-identical regardless of ``jobs`` (and of PYTHONHASHSEED —
+    everything downstream of extraction iterates sorted structures).
+    """
+    project.facts(jobs=jobs)  # pre-warm (parallel when jobs > 1)
     rules = all_rules()
     if select:
         unknown = sorted(set(select) - set(rules))
@@ -264,7 +313,8 @@ def iter_nodes_in_order(root: ast.AST) -> List[ast.AST]:
 
 def decorator_names(node: ast.AST) -> List[str]:
     names: List[str] = []
-    for dec in getattr(node, "decorator_list", []):
+    decorators: List[Any] = getattr(node, "decorator_list", [])
+    for dec in decorators:
         target = dec.func if isinstance(dec, ast.Call) else dec
         name = dotted_name(target)
         if name:

@@ -3,9 +3,12 @@
 from . import (  # noqa: F401
     cache_payload,
     determinism,
+    durability_protocol,
     durable_writes,
     engine_parity,
+    exception_safety,
     mutable_defaults,
+    nondeterminism_taint,
     policy_contract,
     predicted_result,
 )
@@ -13,9 +16,12 @@ from . import (  # noqa: F401
 __all__ = [
     "cache_payload",
     "determinism",
+    "durability_protocol",
     "durable_writes",
     "engine_parity",
+    "exception_safety",
     "mutable_defaults",
+    "nondeterminism_taint",
     "policy_contract",
     "predicted_result",
 ]

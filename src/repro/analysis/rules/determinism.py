@@ -22,14 +22,22 @@ Three sub-checks:
   leak into results.  ``sim/parallel.py`` is explicitly allowlisted:
   its wall-time *stats* (``SweepStats.wall_seconds``, cell timing,
   backoff sleeps) describe how a sweep ran, never what it computed.
+
+The call sites come from the dataflow facts cache rather than a fresh
+parse, and the source tables are shared with RPR008's taint specs
+(:mod:`..dataflow.taint`) — one spec, two enforcement depths.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Set
+from typing import Iterator
 
-from ..core import Finding, Project, SourceFile, call_name, register
+from ..core import Finding, Project, SourceFile, register
+from ..dataflow.taint import (
+    NP_RANDOM_FUNCS as _NP_RANDOM_FUNCS,
+    RANDOM_MODULE_FUNCS as _RANDOM_MODULE_FUNCS,
+    WALLCLOCK_CALLS as _WALLCLOCK_CALLS,
+)
 
 #: Files whose hot loops must never read a wall clock.
 HOT_PATH_FILES = (
@@ -41,194 +49,121 @@ HOT_PATH_FILES = (
 #: Wall-time here is operational statistics, not simulation input.
 WALLCLOCK_ALLOWLIST = ("sim/parallel.py",)
 
-#: ``random`` module draws that consult the shared, seedable-only-
-#: globally generator.
-_RANDOM_MODULE_FUNCS = frozenset(
-    {
-        "random",
-        "randint",
-        "randrange",
-        "uniform",
-        "choice",
-        "choices",
-        "shuffle",
-        "sample",
-        "gauss",
-        "normalvariate",
-        "betavariate",
-        "expovariate",
-        "getrandbits",
-        "seed",
-    }
-)
 
-#: Legacy NumPy global-state RNG entry points (``np.random.default_rng``
-#: and ``np.random.Generator`` are the seeded replacements).
-_NP_RANDOM_FUNCS = frozenset(
-    {
-        "seed",
-        "random",
-        "rand",
-        "randn",
-        "randint",
-        "shuffle",
-        "permutation",
-        "choice",
-        "uniform",
-        "normal",
-    }
-)
-
-_WALLCLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.perf_counter",
-        "time.monotonic",
-        "time.process_time",
-        "time.time_ns",
-        "time.perf_counter_ns",
-        "time.monotonic_ns",
-        "datetime.now",
-        "datetime.datetime.now",
-        "datetime.utcnow",
-        "datetime.datetime.utcnow",
-    }
-)
-
-#: Bare names that mean a wall clock when imported from ``time``.
-_WALLCLOCK_FROM_TIME = frozenset(
-    {
-        "time",
-        "perf_counter",
-        "monotonic",
-        "process_time",
-        "time_ns",
-        "perf_counter_ns",
-        "monotonic_ns",
-    }
-)
-
-
-def _time_imports(tree: ast.Module) -> Set[str]:
-    """Local names bound to wall-clock functions by ``from time import``."""
-    names: Set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom) and node.module == "time":
-            for alias in node.names:
-                if alias.name in _WALLCLOCK_FROM_TIME:
-                    names.add(alias.asname or alias.name)
-    return names
-
-
-def _check_file(src: SourceFile) -> Iterator[Finding]:
-    tree = src.tree
-    is_hot = any(
-        src.rel == hot or src.rel.endswith("/" + hot)
-        for hot in HOT_PATH_FILES
+def _finding(src: SourceFile, line: int, col: int, message: str) -> Finding:
+    return Finding(
+        code="RPR001",
+        path=src.path,
+        rel=src.rel,
+        line=line,
+        col=col,
+        message=message,
     )
-    wallclock_ok = any(
-        src.rel == ok or src.rel.endswith("/" + ok)
-        for ok in WALLCLOCK_ALLOWLIST
-    )
-    clock_names = _time_imports(tree) if is_hot else set()
-
-    for node in ast.walk(tree):
-        if not isinstance(node, ast.Call):
-            continue
-        name = call_name(node)
-        if name is None:
-            continue
-
-        if name == "hash":
-            yield Finding(
-                code="RPR001",
-                path=src.path,
-                rel=src.rel,
-                line=node.lineno,
-                col=node.col_offset,
-                message=(
-                    "builtin hash() is salted per process "
-                    "(PYTHONHASHSEED); use zlib.crc32/hashlib for values "
-                    "crossing process or cache-fingerprint boundaries"
-                ),
-            )
-            continue
-
-        parts = name.split(".")
-        if (
-            len(parts) == 2
-            and parts[0] == "random"
-            and parts[1] in _RANDOM_MODULE_FUNCS
-        ):
-            yield Finding(
-                code="RPR001",
-                path=src.path,
-                rel=src.rel,
-                line=node.lineno,
-                col=node.col_offset,
-                message=(
-                    f"{name}() draws from the process-global RNG; use a "
-                    "seeded random.Random(seed) instance"
-                ),
-            )
-            continue
-        if name in ("random.Random", "Random") and not (
-            node.args or node.keywords
-        ):
-            yield Finding(
-                code="RPR001",
-                path=src.path,
-                rel=src.rel,
-                line=node.lineno,
-                col=node.col_offset,
-                message=(
-                    "random.Random() without a seed is nondeterministic; "
-                    "pass an explicit seed"
-                ),
-            )
-            continue
-        if (
-            len(parts) >= 2
-            and parts[-2] == "random"
-            and parts[0] in ("np", "numpy")
-            and parts[-1] in _NP_RANDOM_FUNCS
-        ):
-            yield Finding(
-                code="RPR001",
-                path=src.path,
-                rel=src.rel,
-                line=node.lineno,
-                col=node.col_offset,
-                message=(
-                    f"{name}() uses NumPy's global RNG state; use "
-                    "np.random.default_rng(seed)"
-                ),
-            )
-            continue
-
-        if is_hot and not wallclock_ok:
-            bare = parts[0] if len(parts) == 1 else None
-            if name in _WALLCLOCK_CALLS or (
-                bare is not None and bare in clock_names
-            ):
-                yield Finding(
-                    code="RPR001",
-                    path=src.path,
-                    rel=src.rel,
-                    line=node.lineno,
-                    col=node.col_offset,
-                    message=(
-                        f"wall-clock call {name}() in engine hot path "
-                        f"{src.rel}; results must not depend on wall "
-                        "time (allowlisted: sim/parallel.py wall-time "
-                        "stats)"
-                    ),
-                )
 
 
 @register("RPR001", "determinism")
 def check_determinism(project: Project) -> Iterator[Finding]:
     """Builtin ``hash()``, unseeded RNG draws, and wall-clock reads in
     engine hot paths (PR 1 bug class)."""
-    for src in project.sources():
-        yield from _check_file(src)
+    facts = project.facts()
+    by_rel = {src.rel: src for src in project.sources()}
+    for rel in sorted(facts.by_rel):
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        file_facts = facts.by_rel[rel]
+        is_hot = any(
+            rel == hot or rel.endswith("/" + hot)
+            for hot in HOT_PATH_FILES
+        )
+        wallclock_ok = any(
+            rel == ok or rel.endswith("/" + ok)
+            for ok in WALLCLOCK_ALLOWLIST
+        )
+        clock_names = (
+            set(file_facts["time_imports"]) if is_hot else set()
+        )
+
+        for fn in file_facts["functions"]:
+            for call in fn["calls"]:
+                name = call["name"]
+                if not name or name.startswith("."):
+                    continue
+
+                if name == "hash":
+                    yield _finding(
+                        src,
+                        call["line"],
+                        call["col"],
+                        (
+                            "builtin hash() is salted per process "
+                            "(PYTHONHASHSEED); use zlib.crc32/hashlib "
+                            "for values crossing process or "
+                            "cache-fingerprint boundaries"
+                        ),
+                    )
+                    continue
+
+                parts = name.split(".")
+                if (
+                    len(parts) == 2
+                    and parts[0] == "random"
+                    and parts[1] in _RANDOM_MODULE_FUNCS
+                ):
+                    yield _finding(
+                        src,
+                        call["line"],
+                        call["col"],
+                        (
+                            f"{name}() draws from the process-global "
+                            "RNG; use a seeded random.Random(seed) "
+                            "instance"
+                        ),
+                    )
+                    continue
+                if name in ("random.Random", "Random") and not (
+                    call["nargs"] or call["nkw"]
+                ):
+                    yield _finding(
+                        src,
+                        call["line"],
+                        call["col"],
+                        (
+                            "random.Random() without a seed is "
+                            "nondeterministic; pass an explicit seed"
+                        ),
+                    )
+                    continue
+                if (
+                    len(parts) >= 2
+                    and parts[-2] == "random"
+                    and parts[0] in ("np", "numpy")
+                    and parts[-1] in _NP_RANDOM_FUNCS
+                ):
+                    yield _finding(
+                        src,
+                        call["line"],
+                        call["col"],
+                        (
+                            f"{name}() uses NumPy's global RNG state; "
+                            "use np.random.default_rng(seed)"
+                        ),
+                    )
+                    continue
+
+                if is_hot and not wallclock_ok:
+                    bare = parts[0] if len(parts) == 1 else None
+                    if name in _WALLCLOCK_CALLS or (
+                        bare is not None and bare in clock_names
+                    ):
+                        yield _finding(
+                            src,
+                            call["line"],
+                            call["col"],
+                            (
+                                f"wall-clock call {name}() in engine "
+                                f"hot path {rel}; results must not "
+                                "depend on wall time (allowlisted: "
+                                "sim/parallel.py wall-time stats)"
+                            ),
+                        )

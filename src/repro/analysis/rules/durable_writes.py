@@ -23,14 +23,16 @@ single-``write`` ``O_APPEND`` frames and ``atomic_write`` itself are
 built, and passing it a string mode is impossible.  Reads (default-mode
 ``open``, ``"rb"``, ``read_bytes``) are untouched.  A justified
 exception takes an inline ``# repro-lint: ignore[RPR006]``.
+
+Write sites come from the dataflow facts cache (the same per-file write
+records RPR009 categorizes), so a warm run inspects no ASTs here.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
-from ..core import Finding, Project, SourceFile, dotted_name, register
+from ..core import Finding, Project, SourceFile, register
 
 #: Modules that persist sweep state and therefore must write atomically.
 #: ``sim/durability.py`` itself is deliberately absent: it implements
@@ -61,51 +63,46 @@ _DUMP_FUNCS = frozenset(
     }
 )
 
-_WRITE_MODE_CHARS = set("wax+")
 
-
-def _finding(src: SourceFile, node: ast.AST, message: str) -> Finding:
+def _finding(
+    src: SourceFile, write: Dict[str, Any], message: str
+) -> Finding:
     return Finding(
         code="RPR006",
         path=src.path,
         rel=src.rel,
-        line=getattr(node, "lineno", 1),
-        col=getattr(node, "col_offset", 0),
+        line=int(write["line"]),
+        col=int(write["col"]),
         message=message,
     )
 
 
-def _literal_mode(call: ast.Call) -> Optional[str]:
-    """The string-literal mode an ``open``-style call passes, if any."""
-    mode: Optional[str] = None
-    if len(call.args) >= 2:
-        arg = call.args[1]
-        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-            mode = arg.value
-    for kw in call.keywords:
-        if kw.arg == "mode":
-            if isinstance(kw.value, ast.Constant) and isinstance(
-                kw.value.value, str
-            ):
-                mode = kw.value.value
-    return mode
-
-
-def _is_write_open(call: ast.Call) -> Optional[str]:
-    """The offending mode when ``call`` opens a file for writing."""
-    name = dotted_name(call.func)
-    if name is None:
-        return None
-    head = name.split(".")[0]
-    last = name.split(".")[-1]
-    if last != "open" or head == "os":
-        # ``os.open`` takes integer flags; the journal's O_APPEND
-        # single-write frames and atomic_write's mkstemp path are built
-        # on it, so it is the sanctioned low-level escape hatch.
-        return None
-    mode = _literal_mode(call)
-    if mode is not None and _WRITE_MODE_CHARS & set(mode):
-        return mode
+def _message(write: Dict[str, Any]) -> Optional[str]:
+    op = write["op"]
+    if op == "open":
+        mode = write["mode"]
+        return (
+            f"direct open(..., {mode!r}) in durable-state "
+            "module: a crash mid-write leaves a torn file; "
+            "route the write through "
+            "repro.sim.durability.atomic_write()"
+        )
+    if op in ("write_bytes", "write_text"):
+        return (
+            f"{op}() in durable-state module is not "
+            "crash-safe (no temp file, no fsync, no rename); "
+            "route the write through "
+            "repro.sim.durability.atomic_write()"
+        )
+    if op in _DUMP_FUNCS:
+        return (
+            f"{op}() streams into an open handle and cannot "
+            "be torn-write-proof; serialize to bytes and "
+            "persist them with "
+            "repro.sim.durability.atomic_write()"
+        )
+    # os.open/os.write/os.replace/unlink/...: the sanctioned low-level
+    # escape hatches (RPR009 polices *which* helpers may use them).
     return None
 
 
@@ -116,46 +113,16 @@ def check_durable_writes(project: Project) -> Iterator[Finding]:
     ``write_bytes``/``write_text``, ``json.dump``/``pickle.dump``/
     ``np.save`` all bypass the torn-write protection of
     ``repro.sim.durability.atomic_write()`` (PR 7 bug class)."""
+    facts = project.facts()
     for rel in DURABLE_FILES:
         src = project.source(rel)
         if src is None:
             continue
-        for node in ast.walk(src.tree):
-            if not isinstance(node, ast.Call):
-                continue
-            mode = _is_write_open(node)
-            if mode is not None:
-                yield _finding(
-                    src,
-                    node,
-                    f"direct open(..., {mode!r}) in durable-state "
-                    "module: a crash mid-write leaves a torn file; "
-                    "route the write through "
-                    "repro.sim.durability.atomic_write()",
-                )
-                continue
-            name = dotted_name(node.func)
-            if name is None:
-                continue
-            last = name.split(".")[-1]
-            if last in ("write_bytes", "write_text") and isinstance(
-                node.func, ast.Attribute
-            ):
-                yield _finding(
-                    src,
-                    node,
-                    f"{last}() in durable-state module is not "
-                    "crash-safe (no temp file, no fsync, no rename); "
-                    "route the write through "
-                    "repro.sim.durability.atomic_write()",
-                )
-                continue
-            if name in _DUMP_FUNCS:
-                yield _finding(
-                    src,
-                    node,
-                    f"{name}() streams into an open handle and cannot "
-                    "be torn-write-proof; serialize to bytes and "
-                    "persist them with "
-                    "repro.sim.durability.atomic_write()",
-                )
+        file_facts = facts.find(rel)
+        if file_facts is None:
+            continue
+        for fn in file_facts["functions"]:
+            for write in fn["writes"]:
+                message = _message(write)
+                if message is not None:
+                    yield _finding(src, write, message)

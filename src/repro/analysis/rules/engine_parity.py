@@ -53,7 +53,16 @@ would have executed.  An unfenced ``MappingRecord`` install, or a
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from ..core import (
     Finding,
@@ -161,17 +170,26 @@ def _finding(
     )
 
 
+def _nodes(source: Union[SourceFile, ast.AST]) -> Iterable[ast.AST]:
+    """All nodes of a source file (memoized walk) or an AST subtree."""
+    if isinstance(source, SourceFile):
+        return source.nodes()
+    return ast.walk(source)
+
+
 def _find_function(
-    tree: ast.AST, name: str
+    source: Union[SourceFile, ast.AST], name: str
 ) -> Optional[ast.FunctionDef]:
-    for node in ast.walk(tree):
+    for node in _nodes(source):
         if isinstance(node, ast.FunctionDef) and node.name == name:
             return node
     return None
 
 
-def _find_class(tree: ast.AST, name: str) -> Optional[ast.ClassDef]:
-    for node in ast.walk(tree):
+def _find_class(
+    source: Union[SourceFile, ast.AST], name: str
+) -> Optional[ast.ClassDef]:
+    for node in _nodes(source):
         if isinstance(node, ast.ClassDef) and node.name == name:
             return node
     return None
@@ -319,11 +337,11 @@ def _guarded_node_ids(root: ast.AST, guard: str) -> set:
     return guarded
 
 
-def _bulk_proof_intact(tree: ast.AST) -> bool:
+def _bulk_proof_intact(source: Union[SourceFile, ast.AST]) -> bool:
     """True when ``bulk_proven`` is assigned from an expression that
     reads both ``fault_batch_eligible`` and the ``AUDITED_PLACE`` audit
     table — the static proof the bulk fault path's fence relies on."""
-    for node in ast.walk(tree):
+    for node in _nodes(source):
         if not isinstance(node, ast.Assign):
             continue
         targets = {
@@ -348,7 +366,7 @@ def _check_fault_batching(batch: SourceFile) -> Iterator[Finding]:
     sanctioned exception is the bulk path's inlined PTE install
     (``MappingRecord``), which must sit behind the ``bulk_proven``
     fence, itself derived from the ``AUDITED_PLACE`` proof."""
-    func = _find_function(batch.tree, "batch_faults")
+    func = _find_function(batch, "batch_faults")
     if func is None:
         # Pre-fault-batching tree (or fixture): nothing to check.
         return
@@ -400,7 +418,7 @@ def _check_fault_batching(batch: SourceFile) -> Iterator[Finding]:
                     "fault path is only sound for policies whose "
                     "place() passed the AUDITED_PLACE identity proof",
                 )
-        if not _bulk_proof_intact(batch.tree):
+        if not _bulk_proof_intact(batch):
             yield _finding(
                 batch,
                 func,
@@ -417,7 +435,7 @@ def _check_epoch_routing(src: SourceFile) -> Iterator[Finding]:
     must stay single-sourced for both engines."""
     funcs = [
         node
-        for node in ast.walk(src.tree)
+        for node in src.nodes()
         if isinstance(node, ast.FunctionDef)
     ]
     covered = set()
@@ -425,7 +443,7 @@ def _check_epoch_routing(src: SourceFile) -> Iterator[Finding]:
         if func.name == "close_epoch":
             for node in ast.walk(func):
                 covered.add(id(node))
-    for node in ast.walk(src.tree):
+    for node in src.nodes():
         if (
             isinstance(node, ast.Call)
             and isinstance(node.func, ast.Attribute)
@@ -454,7 +472,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
         return
 
     # --- reference sequence: the staged DataStage.process ---
-    data_stage = _find_class(pipeline.tree, "DataStage")
+    data_stage = _find_class(pipeline, "DataStage")
     staged_process = (
         _find_function(data_stage, "process") if data_stage else None
     )
@@ -470,7 +488,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
 
     # --- batched copies ---
     for name in BATCH_DATA_FUNCS:
-        func = _find_function(batch.tree, name)
+        func = _find_function(batch, name)
         if func is None:
             yield _finding(
                 batch,
@@ -523,7 +541,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
         )
 
     # --- translation head sharing ---
-    translate_head = _find_function(batch.tree, "translate_head")
+    translate_head = _find_function(batch, "translate_head")
     if translate_head is not None:
         head_seq = _collapse(
             _tokens_in_order(
@@ -531,7 +549,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
             )
         )
         for name in ("small_window", "vec_window"):
-            func = _find_function(batch.tree, name)
+            func = _find_function(batch, name)
             if func is not None and not _calls_function(
                 func, "translate_head"
             ):
@@ -542,7 +560,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
                     "translate_head(); a fourth inlined translation "
                     "copy breaks the parity argument",
                 )
-        scalar = _find_function(batch.tree, "scalar_one")
+        scalar = _find_function(batch, "scalar_one")
         if scalar is not None and not _calls_function(
             scalar, "translate_head"
         ):
@@ -571,7 +589,7 @@ def check_engine_parity(project: Project) -> Iterator[Finding]:
     batch_calls_close = any(
         isinstance(node, ast.Call)
         and (call_name(node) or "").split(".")[-1] == "close_epoch"
-        for node in ast.walk(batch.tree)
+        for node in batch.nodes()
     )
     if not batch_calls_close:
         yield _finding(

@@ -21,23 +21,16 @@ shared mutable instance.  Checked sites:
 
 Defaults that merely *rebind an existing object* (``cache=cache`` in
 the batch engine's hot closures) are Name nodes, not constructor
-calls, and are deliberately not flagged.
+calls, and are deliberately not flagged.  Default-site descriptors and
+the project class table both come from the dataflow facts cache, so a
+warm run needs no parsing at all.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, Optional, Set
 
-from ..core import (
-    Finding,
-    Project,
-    SourceFile,
-    call_name,
-    dataclass_frozen,
-    is_dataclass_def,
-    register,
-)
+from ..core import Finding, Project, register
 
 _MUTABLE_BUILTIN_CALLS = frozenset(
     {
@@ -88,25 +81,11 @@ def _immutable_project_classes(project: Project) -> Set[str]:
     """Names of project classes whose instances are immutable: frozen
     dataclasses and Enum subclasses (including subclasses of those)."""
     frozen: Set[str] = set()
-    bases: dict = {}
-    for src in project.sources():
-        for node in ast.walk(src.tree):
-            if not isinstance(node, ast.ClassDef):
-                continue
-            base_names = []
-            for base in node.bases:
-                name = None
-                if isinstance(base, ast.Name):
-                    name = base.id
-                elif isinstance(base, ast.Attribute):
-                    name = base.attr
-                if name:
-                    base_names.append(name)
-            bases[node.name] = base_names
-            if dataclass_frozen(node) or any(
-                b in _ENUM_BASES for b in base_names
-            ):
-                frozen.add(node.name)
+    bases: Dict[str, list] = {}
+    for _rel, cls in project.facts().iter_classes():
+        bases[cls["name"]] = list(cls["bases"])
+        if cls["frozen"] or any(b in _ENUM_BASES for b in cls["bases"]):
+            frozen.add(cls["name"])
     # Propagate through single-level inheritance chains until fixpoint
     # (an Enum subclass of a project Enum is still immutable).
     changed = True
@@ -119,106 +98,26 @@ def _immutable_project_classes(project: Project) -> Set[str]:
     return frozen
 
 
-def _mutable_default(
-    node: ast.AST, immutable: Set[str]
-) -> Optional[str]:
-    """A human description if ``node`` is a shared-mutable default."""
-    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+def _reason(default: Dict[str, object], immutable: Set[str]) -> Optional[str]:
+    """A human description if the recorded default is shared-mutable."""
+    shape = default["shape"]
+    if shape == "literal":
         return "mutable literal"
-    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+    if shape == "comprehension":
         return "mutable comprehension"
-    if isinstance(node, ast.Call):
-        name = call_name(node)
-        if name is None:
-            return None
-        if name in _MUTABLE_BUILTIN_CALLS:
-            return f"{name}() call"
-        short = name.split(".")[-1]
-        if name in _IMMUTABLE_BUILTIN_CALLS or short in immutable:
-            return None
-        if short[:1].isupper() and not short.isupper():
-            # CamelCase constructor of a class not known to be frozen:
-            # the TimingParams() bug shape.
-            return f"{name}() instance"
+    name = str(default["call_name"] or "")
+    if not name:
+        return None
+    if name in _MUTABLE_BUILTIN_CALLS:
+        return f"{name}() call"
+    short = name.split(".")[-1]
+    if name in _IMMUTABLE_BUILTIN_CALLS or short in immutable:
+        return None
+    if short[:1].isupper() and not short.isupper():
+        # CamelCase constructor of a class not known to be frozen:
+        # the TimingParams() bug shape.
+        return f"{name}() instance"
     return None
-
-
-def _function_findings(
-    src: SourceFile,
-    func: ast.AST,
-    immutable: Set[str],
-) -> Iterator[Finding]:
-    args = func.args
-    defaults: List[Tuple[ast.arg, ast.AST]] = []
-    positional = args.posonlyargs + args.args
-    for arg, default in zip(positional[-len(args.defaults):], args.defaults):
-        defaults.append((arg, default))
-    for arg, default in zip(args.kwonlyargs, args.kw_defaults):
-        if default is not None:
-            defaults.append((arg, default))
-    for arg, default in defaults:
-        reason = _mutable_default(default, immutable)
-        if reason is not None:
-            yield Finding(
-                code="RPR003",
-                path=src.path,
-                rel=src.rel,
-                line=default.lineno,
-                col=default.col_offset,
-                message=(
-                    f"default for parameter {arg.arg!r} of "
-                    f"{func.name}() is a {reason}, evaluated once and "
-                    "shared across calls (the PR 3 TimingParams bug); "
-                    "default to None and construct in the body"
-                ),
-            )
-
-
-def _dataclass_findings(
-    src: SourceFile, cls: ast.ClassDef, immutable: Set[str]
-) -> Iterator[Finding]:
-    for node in cls.body:
-        value = None
-        target_name = None
-        if isinstance(node, ast.AnnAssign) and node.value is not None:
-            annotation = node.annotation
-            ann = annotation.value if isinstance(
-                annotation, ast.Subscript
-            ) else annotation
-            ann_name = (
-                ann.id if isinstance(ann, ast.Name)
-                else ann.attr if isinstance(ann, ast.Attribute) else None
-            )
-            if ann_name == "ClassVar":
-                continue
-            if isinstance(node.target, ast.Name):
-                value = node.value
-                target_name = node.target.id
-        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
-            if isinstance(node.targets[0], ast.Name):
-                value = node.value
-                target_name = node.targets[0].id
-        if value is None or target_name is None:
-            continue
-        if isinstance(value, ast.Call) and call_name(value) in (
-            "field",
-            "dataclasses.field",
-        ):
-            continue
-        reason = _mutable_default(value, immutable)
-        if reason is not None:
-            yield Finding(
-                code="RPR003",
-                path=src.path,
-                rel=src.rel,
-                line=value.lineno,
-                col=value.col_offset,
-                message=(
-                    f"dataclass field {target_name!r} of {cls.name} "
-                    f"defaults to a {reason}, shared by every instance; "
-                    "use field(default_factory=...)"
-                ),
-            )
 
 
 @register("RPR003", "mutable-defaults")
@@ -227,9 +126,36 @@ def check_mutable_defaults(project: Project) -> Iterator[Finding]:
     mutable instances, including project-class constructors ruff cannot
     know about (PR 3 bug class)."""
     immutable = _immutable_project_classes(project)
-    for src in project.sources():
-        for node in ast.walk(src.tree):
-            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                yield from _function_findings(src, node, immutable)
-            elif isinstance(node, ast.ClassDef) and is_dataclass_def(node):
-                yield from _dataclass_findings(src, node, immutable)
+    facts = project.facts()
+    by_rel = {src.rel: src for src in project.sources()}
+    for rel in sorted(facts.by_rel):
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        for default in facts.by_rel[rel]["defaults"]:
+            reason = _reason(default, immutable)
+            if reason is None:
+                continue
+            if default["where"] == "param":
+                message = (
+                    f"default for parameter {default['arg']!r} of "
+                    f"{default['owner']}() is a {reason}, evaluated "
+                    "once and shared across calls (the PR 3 "
+                    "TimingParams bug); default to None and construct "
+                    "in the body"
+                )
+            else:
+                message = (
+                    f"dataclass field {default['arg']!r} of "
+                    f"{default['owner']} defaults to a {reason}, "
+                    "shared by every instance; use "
+                    "field(default_factory=...)"
+                )
+            yield Finding(
+                code="RPR003",
+                path=src.path,
+                rel=rel,
+                line=int(default["line"]),
+                col=int(default["col"]),
+                message=message,
+            )

@@ -1,0 +1,43 @@
+"""RPR008 — nondeterminism taint: no value influenced by ``hash()``,
+unseeded RNG, wall clocks, ``os.environ``, ``id()`` or unordered
+iteration may reach a fingerprint, journal record, cache payload or
+surrogate feature vector.
+
+RPR001 flags the nondeterminism *sources* at their call sites; this
+rule follows the values.  The PR 1 bug — a ``hash()``-derived salt that
+reached ``cell_fingerprint`` through a helper function — is invisible
+to per-file patterns once a call boundary separates source from sink.
+The dataflow engine's taint propagator (:mod:`..dataflow.taint`)
+evaluates each function's return summary to a fixpoint over the call
+graph, so taint survives assignments, containers, f-strings, calls and
+returns, while ``sorted()`` launders ordering and project-class
+constructors act as barriers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..core import Finding, Project, register
+
+
+@register("RPR008", "nondeterminism_taint")
+def check_nondeterminism_taint(project: Project) -> Iterator[Finding]:
+    """Interprocedural taint from nondeterminism sources (``hash()``,
+    unseeded RNG, wall clock, ``os.environ``, unordered iteration,
+    ``id()``) into fingerprints, journal records, cache payloads and
+    surrogate features (the PR 1 bug class, followed across calls)."""
+    facts = project.facts()
+    by_rel = {src.rel: src for src in project.sources()}
+    for taint_finding in facts.taint().findings():
+        src = by_rel.get(taint_finding.rel)
+        if src is None:
+            continue
+        yield Finding(
+            code="RPR008",
+            path=src.path,
+            rel=taint_finding.rel,
+            line=taint_finding.line,
+            col=taint_finding.col,
+            message=taint_finding.message,
+        )

@@ -15,23 +15,15 @@ and inherited members through project-internal base classes).  A class
 is *checked* when it transitively inherits ``PlacementPolicy`` or when
 its name ends in ``Policy`` inside the ``policies/`` package — the
 latter catches a standalone protocol-only policy that forgot half the
-surface.
+surface.  Class membership and the contract literals both come from
+the dataflow facts cache; no file is re-parsed on a warm run.
 """
 
 from __future__ import annotations
 
-import ast
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
 
-from ..core import (
-    Finding,
-    Project,
-    SourceFile,
-    decorator_names,
-    literal_str_tuple,
-    register,
-)
+from ..core import Finding, Project, register
 
 CONTRACT_FILE = "policies/contract.py"
 BASE_CLASS = "PlacementPolicy"
@@ -40,123 +32,43 @@ BASE_CLASS = "PlacementPolicy"
 _PROTOCOL_BASES = frozenset({"Protocol", "ABC", "abc.ABC"})
 
 
-@dataclass
-class ClassInfo:
-    name: str
-    src: SourceFile
-    node: ast.ClassDef
-    bases: List[str] = field(default_factory=list)
-    methods: Set[str] = field(default_factory=set)
-    attrs: Set[str] = field(default_factory=set)
-    is_protocol: bool = False
-
-
-def _base_name(node: ast.AST) -> Optional[str]:
-    if isinstance(node, ast.Name):
-        return node.id
-    if isinstance(node, ast.Attribute):
-        return node.attr
-    if isinstance(node, ast.Subscript):
-        return _base_name(node.value)
-    return None
-
-
-def _collect_class(src: SourceFile, node: ast.ClassDef) -> ClassInfo:
-    info = ClassInfo(name=node.name, src=src, node=node)
-    for base in node.bases:
-        name = _base_name(base)
-        if name:
-            info.bases.append(name)
-            if name in ("Protocol", "ABCMeta"):
-                info.is_protocol = True
-    for item in node.body:
-        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
-            if "property" in decorator_names(item):
-                info.attrs.add(item.name)
-            else:
-                info.methods.add(item.name)
-            # ``self.x = ...`` in any method also provides attribute x.
-            for sub in ast.walk(item):
-                targets: List[ast.AST] = []
-                if isinstance(sub, ast.Assign):
-                    targets = list(sub.targets)
-                elif isinstance(sub, ast.AnnAssign):
-                    targets = [sub.target]
-                for target in targets:
-                    if (
-                        isinstance(target, ast.Attribute)
-                        and isinstance(target.value, ast.Name)
-                        and target.value.id == "self"
-                    ):
-                        info.attrs.add(target.attr)
-        elif isinstance(item, ast.AnnAssign) and isinstance(
-            item.target, ast.Name
-        ):
-            info.attrs.add(item.target.id)
-        elif isinstance(item, ast.Assign):
-            for target in item.targets:
-                if isinstance(target, ast.Name):
-                    info.attrs.add(target.id)
-    return info
-
-
 def _contract_lists(
-    src: SourceFile,
+    facts: Dict[str, Any],
 ) -> Tuple[Optional[List[str]], Optional[Tuple[str, ...]]]:
-    """(capability flag names, required hooks) from contract.py."""
+    """(capability flag names, required hooks) from contract.py facts."""
+    constants = facts["constants"]
     flags: Optional[List[str]] = None
     hooks: Optional[Tuple[str, ...]] = None
-    for node in src.tree.body:
-        target = None
-        value = None
-        if isinstance(node, ast.Assign) and len(node.targets) == 1:
-            target, value = node.targets[0], node.value
-        elif isinstance(node, ast.AnnAssign) and node.value is not None:
-            target, value = node.target, node.value
-        if not isinstance(target, ast.Name) or value is None:
-            continue
-        if target.id == "CAPABILITY_FLAGS" and isinstance(
-            value, (ast.Tuple, ast.List)
-        ):
-            names: List[str] = []
-            for elt in value.elts:
-                if (
-                    isinstance(elt, (ast.Tuple, ast.List))
-                    and elt.elts
-                    and isinstance(elt.elts[0], ast.Constant)
-                    and isinstance(elt.elts[0].value, str)
-                ):
-                    names.append(elt.elts[0].value)
-            flags = names
-        elif target.id == "REQUIRED_HOOKS":
-            hooks = literal_str_tuple(value)
+    if "CAPABILITY_FLAGS" in constants:
+        flags = list(constants["CAPABILITY_FLAGS"]["pair_firsts"])
+    if "REQUIRED_HOOKS" in constants:
+        strings = constants["REQUIRED_HOOKS"]["strings"]
+        hooks = tuple(strings) if strings is not None else None
     return flags, hooks
 
 
 def _resolve(
-    info: ClassInfo, table: Dict[str, ClassInfo]
+    name: str, table: Dict[str, Dict[str, Any]]
 ) -> Tuple[Set[str], Set[str], bool]:
     """(methods, attrs, inherits_base) through the project class graph."""
     methods: Set[str] = set()
     attrs: Set[str] = set()
     inherits_base = False
     seen: Set[str] = set()
-    stack = [info.name]
+    stack = [name]
     while stack:
-        name = stack.pop()
-        if name in seen:
+        current_name = stack.pop()
+        if current_name in seen:
             continue
-        seen.add(name)
-        if name == BASE_CLASS and name != info.name:
+        seen.add(current_name)
+        if current_name == BASE_CLASS and current_name != name:
             inherits_base = True
-        current = table.get(name)
+        current = table.get(current_name)
         if current is None:
             continue
-        if current.name == BASE_CLASS and current is not info:
-            inherits_base = True
-        methods |= current.methods
-        attrs |= current.attrs
-        stack.extend(current.bases)
+        methods |= set(current["methods"])
+        attrs |= set(current["attrs"])
+        stack.extend(current["bases"])
     return methods, attrs, inherits_base
 
 
@@ -168,7 +80,11 @@ def check_policy_contract(project: Project) -> Iterator[Finding]:
     contract = project.source(CONTRACT_FILE)
     if contract is None:
         return
-    flags, hooks = _contract_lists(contract)
+    project_facts = project.facts()
+    contract_facts = project_facts.find(CONTRACT_FILE)
+    if contract_facts is None:
+        return
+    flags, hooks = _contract_lists(contract_facts)
     if flags is None or hooks is None:
         yield Finding(
             code="RPR005",
@@ -185,27 +101,31 @@ def check_policy_contract(project: Project) -> Iterator[Finding]:
         )
         return
 
-    table: Dict[str, ClassInfo] = {}
-    for src in project.sources():
-        for node in ast.walk(src.tree):
-            if isinstance(node, ast.ClassDef):
-                # Later definitions do not clobber earlier ones: the
-                # first (package-order) definition wins, matching how
-                # unqualified base-name resolution already behaves.
-                table.setdefault(node.name, _collect_class(src, node))
+    by_rel = {src.rel: src for src in project.sources()}
+    # Later definitions do not clobber earlier ones: the first
+    # (package-order) definition wins, matching how unqualified
+    # base-name resolution already behaves.
+    table: Dict[str, Dict[str, Any]] = {}
+    rel_of: Dict[str, str] = {}
+    for rel, cls in project_facts.iter_classes():
+        if cls["name"] not in table:
+            table[cls["name"]] = cls
+            rel_of[cls["name"]] = rel
 
     def in_policies_pkg(rel: str) -> bool:
         return rel.startswith("policies/") or "/policies/" in rel
 
-    for info in table.values():
-        if info.name == BASE_CLASS or info.is_protocol:
+    for name, cls in table.items():
+        if name == BASE_CLASS or cls["is_protocol"]:
             continue
-        if any(b in _PROTOCOL_BASES for b in info.bases):
+        if any(b in _PROTOCOL_BASES for b in cls["bases"]):
             continue
-        methods, attrs, inherits_base = _resolve(info, table)
-        is_named_policy = info.name.endswith("Policy") and in_policies_pkg(
-            info.src.rel
-        )
+        rel = rel_of[name]
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        methods, attrs, inherits_base = _resolve(name, table)
+        is_named_policy = name.endswith("Policy") and in_policies_pkg(rel)
         if not inherits_base and not is_named_policy:
             continue
         provided = methods | attrs
@@ -216,12 +136,12 @@ def check_policy_contract(project: Project) -> Iterator[Finding]:
         if missing_flags:
             yield Finding(
                 code="RPR005",
-                path=info.src.path,
-                rel=info.src.rel,
-                line=info.node.lineno,
-                col=info.node.col_offset,
+                path=src.path,
+                rel=rel,
+                line=int(cls["line"]),
+                col=int(cls["col"]),
                 message=(
-                    f"policy class {info.name} is missing capability "
+                    f"policy class {name} is missing capability "
                     f"declaration(s) {', '.join(missing_flags)} required "
                     "by CAPABILITY_FLAGS (validate_policy will reject "
                     "it at attach time)"
@@ -230,12 +150,12 @@ def check_policy_contract(project: Project) -> Iterator[Finding]:
         if missing_hooks:
             yield Finding(
                 code="RPR005",
-                path=info.src.path,
-                rel=info.src.rel,
-                line=info.node.lineno,
-                col=info.node.col_offset,
+                path=src.path,
+                rel=rel,
+                line=int(cls["line"]),
+                col=int(cls["col"]),
                 message=(
-                    f"policy class {info.name} is missing hook(s) "
+                    f"policy class {name} is missing hook(s) "
                     f"{', '.join(missing_hooks)} required by "
                     "REQUIRED_HOOKS"
                 ),

@@ -21,14 +21,18 @@ Four statically checkable invariants:
 * ``ResultCache.put`` must keep its ``isinstance(..., SimResult)``
   guard raising ``TypeError`` — the runtime backstop for every path
   the other three checks cannot see.
+
+All four read the dataflow facts cache: class records carry bases and
+method positions, function records carry every call site plus the
+``isinstance``/``raise`` evidence the guard check needs, so a warm run
+re-parses nothing.
 """
 
 from __future__ import annotations
 
-import ast
-from typing import Iterator, Optional
+from typing import Any, Dict, Iterator, Optional
 
-from ..core import Finding, Project, SourceFile, dotted_name, register
+from ..core import Finding, Project, SourceFile, register
 
 RESULTS_FILE = "surrogate/results.py"
 PREDICTED_CLASS = "PredictedResult"
@@ -38,52 +42,42 @@ SIM_RESULT = "SimResult"
 SURROGATE_DIR = "surrogate"
 
 
-def _finding(src: SourceFile, node: ast.AST, message: str) -> Finding:
+def _finding(src: SourceFile, line: int, col: int, message: str) -> Finding:
     return Finding(
         code="RPR007",
         path=src.path,
         rel=src.rel,
-        line=getattr(node, "lineno", 1),
-        col=getattr(node, "col_offset", 0),
+        line=line,
+        col=col,
         message=message,
     )
 
 
-def _class_def(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == name:
-            return node
+def _in_surrogate_package(rel: str) -> bool:
+    return SURROGATE_DIR in rel.split("/")[:-1]
+
+
+def _class_record(
+    facts: Dict[str, Any], name: str
+) -> Optional[Dict[str, Any]]:
+    for cls in facts["classes"]:
+        if cls["name"] == name:
+            return cls
     return None
 
 
-def _in_surrogate_package(src: SourceFile) -> bool:
-    return SURROGATE_DIR in src.rel.split("/")[:-1]
-
-
-def _raises_type_error(node: ast.AST) -> bool:
-    for sub in ast.walk(node):
-        if isinstance(sub, ast.Raise) and sub.exc is not None:
-            exc = sub.exc
-            target = exc.func if isinstance(exc, ast.Call) else exc
-            if dotted_name(target) == "TypeError":
-                return True
+def _has_sim_result_guard(facts: Dict[str, Any]) -> bool:
+    """``ResultCache.put`` contains an ``isinstance(..., SimResult)``
+    test *and* a ``raise TypeError`` — the refuse-predicted backstop."""
+    for fn in facts["functions"]:
+        if fn["qualname"] != f"{CACHE_CLASS}.put":
+            continue
+        saw_isinstance = any(
+            typ.split(".")[-1] == SIM_RESULT
+            for typ in fn["isinstance_types"]
+        )
+        return saw_isinstance and "TypeError" in fn["raises"]
     return False
-
-
-def _has_sim_result_guard(func: ast.FunctionDef) -> bool:
-    """``put`` contains an ``isinstance(..., SimResult)`` test *and* a
-    ``raise TypeError`` — the refuse-predicted-results backstop."""
-    saw_isinstance = False
-    for node in ast.walk(func):
-        if (
-            isinstance(node, ast.Call)
-            and dotted_name(node.func) == "isinstance"
-            and len(node.args) == 2
-            and (dotted_name(node.args[1]) or "").split(".")[-1]
-            == SIM_RESULT
-        ):
-            saw_isinstance = True
-    return saw_isinstance and _raises_type_error(func)
 
 
 @register("RPR007", "predicted-result-containment")
@@ -92,47 +86,55 @@ def check_predicted_result(project: Project) -> Iterator[Finding]:
     ``SimResult`` (no subclassing, no cache codec), surrogate code
     never writes the result cache, and ``ResultCache.put`` keeps its
     runtime type guard (PR 9 invariants)."""
+    project_facts = project.facts()
+    by_rel = {src.rel: src for src in project.sources()}
+
     # --- the PredictedResult type itself, wherever it is (re)defined ---
-    for src in project.sources():
-        cls = _class_def(src.tree, PREDICTED_CLASS)
-        if cls is None:
+    for rel, cls in project_facts.iter_classes():
+        if cls["name"] != PREDICTED_CLASS:
             continue
-        for base in cls.bases:
-            name = dotted_name(base)
-            if name and name.split(".")[-1] == SIM_RESULT:
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        for base in cls["bases_full"]:
+            if base.split(".")[-1] == SIM_RESULT:
                 yield _finding(
                     src,
-                    cls,
+                    int(cls["line"]),
+                    int(cls["col"]),
                     f"{PREDICTED_CLASS} subclasses {SIM_RESULT}: a "
                     "prediction must never pass isinstance checks for "
                     "exact results (cache guard, reporting, fidelity "
                     "gates all rely on the distinction)",
                 )
-        for node in cls.body:
-            if isinstance(
-                node, (ast.FunctionDef, ast.AsyncFunctionDef)
-            ) and node.name in ("to_dict", "from_dict"):
-                yield _finding(
-                    src,
-                    node,
-                    f"{PREDICTED_CLASS}.{node.name} defined: the "
-                    "result-cache codec must stay structurally unable "
-                    "to serialize predictions",
-                )
+        for method in ("to_dict", "from_dict"):
+            pos = cls["methods"].get(method)
+            if pos is None:
+                continue
+            yield _finding(
+                src,
+                int(pos["line"]),
+                int(pos["col"]),
+                f"{PREDICTED_CLASS}.{method} defined: the "
+                "result-cache codec must stay structurally unable "
+                "to serialize predictions",
+            )
 
     # --- no cache writes from the surrogate package ---
-    for src in project.sources():
-        if not _in_surrogate_package(src):
+    for rel in sorted(project_facts.by_rel):
+        if not _in_surrogate_package(rel):
             continue
-        for node in ast.walk(src.tree):
-            if (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "put"
-            ):
+        src = by_rel.get(rel)
+        if src is None:
+            continue
+        for fn in project_facts.by_rel[rel]["functions"]:
+            for call in fn["calls"]:
+                if not call["name"].endswith(".put"):
+                    continue
                 yield _finding(
                     src,
-                    node,
+                    call["line"],
+                    call["col"],
                     "surrogate code calls .put(): the surrogate "
                     "produces predictions and must never write the "
                     "result cache (exact results are flushed by the "
@@ -143,29 +145,27 @@ def check_predicted_result(project: Project) -> Iterator[Finding]:
     cache_src = project.source(CACHE_FILE)
     if cache_src is None:
         return
-    cache_cls = _class_def(cache_src.tree, CACHE_CLASS)
+    cache_facts = project_facts.find(CACHE_FILE)
+    if cache_facts is None:
+        return
+    cache_cls = _class_record(cache_facts, CACHE_CLASS)
     if cache_cls is None:
         return
-    put = next(
-        (
-            node
-            for node in cache_cls.body
-            if isinstance(node, ast.FunctionDef) and node.name == "put"
-        ),
-        None,
-    )
+    put = cache_cls["methods"].get("put")
     if put is None:
         yield _finding(
             cache_src,
-            cache_cls,
+            int(cache_cls["line"]),
+            int(cache_cls["col"]),
             f"{CACHE_CLASS}.put is missing; the predicted-result "
             "containment guard cannot be checked",
         )
         return
-    if not _has_sim_result_guard(put):
+    if not _has_sim_result_guard(cache_facts):
         yield _finding(
             cache_src,
-            put,
+            int(put["line"]),
+            int(put["col"]),
             f"{CACHE_CLASS}.put lost its isinstance(..., {SIM_RESULT}) "
             "guard raising TypeError: the cache would silently accept "
             "predicted (or foreign) results as ground truth",

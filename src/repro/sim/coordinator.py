@@ -528,7 +528,10 @@ def _runner_process(
                         ),
                     }
                 )
-            except Exception as exc:
+            # Failure accounting happens through the journal, not a
+            # typed raise: the error/failed record below is what resume
+            # and the supervising coordinator replay.
+            except Exception as exc:  # repro-lint: ignore[RPR010] -- failure journaled as error/failed record
                 attempt = attempt or 1
                 if retry and attempt < max_attempts:
                     journal.append(

@@ -67,6 +67,7 @@ from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import (
     TYPE_CHECKING,
+    Any,
     Dict,
     Iterable,
     Iterator,
@@ -138,7 +139,7 @@ class SweepCell:
             self.timing = TimingParams()
 
 
-def _jsonable(value):
+def _jsonable(value: Any) -> Any:
     """Canonical JSON-compatible form of fingerprint inputs."""
     if isinstance(value, enum.Enum):
         return f"{type(value).__name__}.{value.name}"
@@ -598,7 +599,9 @@ def _picklable(cell: SweepCell) -> bool:
     try:
         pickle.dumps(cell)
         return True
-    except Exception:
+    # Probe, not a failure path: any error at all just means "run this
+    # cell in-process instead of shipping it to a pool worker".
+    except Exception:  # repro-lint: ignore[RPR010] -- picklability probe; falls back to serial
         return False
 
 
@@ -1163,7 +1166,9 @@ class SweepRunner:
         for process in list(getattr(pool, "_processes", {}).values()):
             try:
                 process.kill()
-            except Exception:
+            # Best-effort teardown of an already-broken pool: the worker
+            # may have exited between the list() and the kill().
+            except Exception:  # repro-lint: ignore[RPR010] -- best-effort kill during pool teardown
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
 

@@ -119,7 +119,9 @@ class BatchedSweepPipeline:
                         shared_prep=prep,
                     )
                 )
-            except Exception as exc:  # runner retries through normal path
+            # The exception IS the outcome: run_group returns it to the
+            # sweep runner, whose retry/failure accounting handles it.
+            except Exception as exc:  # repro-lint: ignore[RPR010] -- exception returned as outcome; runner retries through normal path
                 outcomes.append(exc)
         return outcomes
 

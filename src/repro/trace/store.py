@@ -84,7 +84,7 @@ def default_store_dir() -> Path:
 
 
 def resolve_trace_store(
-    value: Union[None, bool, str, os.PathLike] = None,
+    value: Union[None, bool, str, "os.PathLike[str]"] = None,
 ) -> Optional[Path]:
     """The store root to use, or None when the store is off.
 

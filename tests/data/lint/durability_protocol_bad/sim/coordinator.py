@@ -1,0 +1,22 @@
+# ruff: noqa
+"""Bad fixture: lease and journal state written outside the helpers."""
+
+from .helpers import scribble
+
+
+def refresh_lease(lease_dir, key, token):
+    # Raw write_text: no O_CREAT|O_EXCL claim, no atomic rename.
+    path = lease_dir / ("%s.lease" % key)
+    path.write_text(token)
+
+
+def compact_journal(journal_path, records):
+    # Rewriting the journal in place loses the CRC framing guarantees.
+    with open(journal_path, "w") as fh:
+        for rec in records:
+            fh.write(rec)
+
+
+def takeover(lease_path, token):
+    # Indirect: the helper writes whatever path it is handed.
+    scribble(lease_path, token)

@@ -1,0 +1,6 @@
+# ruff: noqa
+"""Bad fixture helper: writes straight through its path parameter."""
+
+
+def scribble(path, data):
+    path.write_text(data)

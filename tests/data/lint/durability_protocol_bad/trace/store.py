@@ -1,0 +1,12 @@
+# ruff: noqa
+"""Bad fixture: trace files removed outside TraceStore._quarantine."""
+
+import os
+
+
+class TraceStore:
+    def __init__(self, root):
+        self.root = root
+
+    def evict(self, path):
+        os.unlink(path)

@@ -1,0 +1,24 @@
+# ruff: noqa
+"""Good fixture: durable state flows through the blessed helpers only."""
+
+import os
+
+from .journal import Journal
+
+
+def _write_lease(path, token):
+    # The blessed claim: O_CREAT|O_EXCL makes acquisition atomic.
+    fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    try:
+        os.write(fd, token)
+    finally:
+        os.close(fd)
+
+
+def refresh(lease_path, token):
+    _write_lease(lease_path, token)
+
+
+def record(journal_path, payload):
+    journal = Journal(journal_path)
+    journal.append(payload)

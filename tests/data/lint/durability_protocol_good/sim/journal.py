@@ -1,0 +1,20 @@
+# ruff: noqa
+"""Good fixture: the CRC-framed appender owns the raw journal writes."""
+
+import os
+import zlib
+
+
+class Journal:
+    def __init__(self, path):
+        self._path = path
+
+    def append(self, payload):
+        frame = payload + zlib.crc32(payload).to_bytes(4, "little")
+        fd = os.open(
+            self._path, os.O_APPEND | os.O_WRONLY | os.O_CREAT
+        )
+        try:
+            os.write(fd, frame)
+        finally:
+            os.close(fd)

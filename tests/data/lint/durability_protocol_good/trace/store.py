@@ -1,0 +1,15 @@
+# ruff: noqa
+"""Good fixture: damaged traces move only through _quarantine."""
+
+import os
+
+
+class TraceStore:
+    def __init__(self, root):
+        self.root = root
+
+    def _quarantine(self, path, reason):
+        os.replace(path, str(path) + ".quarantined")
+
+    def evict(self, path):
+        self._quarantine(path, "evicted")

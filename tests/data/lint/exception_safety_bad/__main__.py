@@ -1,0 +1,13 @@
+# ruff: noqa
+"""Bad fixture: the CLI hides even KeyboardInterrupt behind exit 1."""
+
+
+def dispatch(argv):
+    return 0
+
+
+def main(argv):
+    try:
+        return dispatch(argv)
+    except BaseException:
+        return 1

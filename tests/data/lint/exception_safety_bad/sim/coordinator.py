@@ -1,0 +1,10 @@
+# ruff: noqa
+"""Bad fixture: a bare except in the coordinator eats everything."""
+
+
+def supervise(tasks):
+    for task in tasks:
+        try:
+            task.run()
+        except:
+            pass

@@ -1,0 +1,13 @@
+# ruff: noqa
+"""Bad fixture: a worker-path handler swallows failures silently."""
+
+
+def simulate(cell):
+    return cell
+
+
+def run_cell(cell):
+    try:
+        return simulate(cell)
+    except Exception:
+        return None  # failure vanishes; retry accounting never sees it

@@ -1,0 +1,39 @@
+# ruff: noqa
+"""Good fixture: every broad handler re-raises, types, or justifies."""
+
+
+class SimulationError(Exception):
+    pass
+
+
+class SweepError(SimulationError):
+    pass
+
+
+def simulate(cell):
+    return cell
+
+
+def _fail(cell, exc):
+    raise SweepError("%s: %s" % (cell, exc))
+
+
+def run_cell(cell):
+    try:
+        return simulate(cell)
+    except Exception as exc:
+        _fail(cell, exc)  # converts to a typed SimulationError
+
+
+def run_strict(cell):
+    try:
+        return simulate(cell)
+    except Exception:
+        raise
+
+
+def probe(cell):
+    try:
+        return simulate(cell)
+    except Exception:  # repro-lint: ignore[RPR010] -- probe failure falls back to serial
+        return None

@@ -1,0 +1,9 @@
+# ruff: noqa
+"""Good fixture: narrow handlers are outside RPR010's scope."""
+
+
+def load(path):
+    try:
+        return path.read_text()
+    except FileNotFoundError:
+        return ""

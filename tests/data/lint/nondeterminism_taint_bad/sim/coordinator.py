@@ -1,0 +1,18 @@
+# ruff: noqa
+"""Bad fixture: env and unordered-listing taint reach durable records."""
+
+import os
+
+
+def derive_sweep_id(manifest, host):
+    return "%s-%s" % (manifest, host)
+
+
+def record(journal, cell):
+    # os.environ is per-machine state; it must not enter journal records.
+    journal.append({"cell": cell, "host": os.environ["HOST"]})
+
+
+def plan(manifest):
+    # os.listdir order is filesystem-dependent.
+    return derive_sweep_id(manifest, os.listdir(manifest))

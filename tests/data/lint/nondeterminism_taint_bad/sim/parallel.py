@@ -1,0 +1,17 @@
+# ruff: noqa
+"""Bad fixture: hash() taint reaches a fingerprint interprocedurally."""
+
+import zlib
+
+
+def _salt(cell):
+    return hash(cell)  # salted per process — taints the return value
+
+
+def cell_fingerprint(cell, salt):
+    return zlib.crc32(repr((cell, salt)).encode())
+
+
+def fingerprint_cell(cell):
+    # The tainted salt flows through a call into the fingerprint.
+    return cell_fingerprint(cell, _salt(cell))

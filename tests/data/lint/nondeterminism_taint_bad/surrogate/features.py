@@ -1,0 +1,11 @@
+# ruff: noqa
+"""Bad fixture: set-iteration order leaks into a feature vector."""
+
+
+def feature_vector(cell, names):
+    return (cell, tuple(names))
+
+
+def featurize(cells, policies):
+    names = {p for p in policies}  # set iteration order is salted
+    return feature_vector(cells, list(names))

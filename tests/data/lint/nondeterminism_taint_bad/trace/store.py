@@ -1,0 +1,14 @@
+# ruff: noqa
+"""Bad fixture: a wall-clock read poisons the trace fingerprint."""
+
+import time
+import zlib
+
+
+def _stamp():
+    return time.time()  # wall clock — taints the return value
+
+
+def trace_fingerprint(spec, chiplets, seed):
+    token = "%s-%s-%s-%s" % (spec, chiplets, seed, _stamp())
+    return zlib.crc32(token.encode())

@@ -1,0 +1,17 @@
+# ruff: noqa
+"""Good fixture: journal records and sweep ids stay deterministic."""
+
+import os
+
+
+def derive_sweep_id(manifest, host):
+    return "%s-%s" % (manifest, host)
+
+
+def record(journal, cell):
+    journal.append({"cell": cell})
+
+
+def plan(manifest):
+    # sorted() launders the filesystem ordering.
+    return derive_sweep_id(manifest, sorted(os.listdir(manifest)))

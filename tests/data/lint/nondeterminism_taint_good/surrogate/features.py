@@ -1,0 +1,11 @@
+# ruff: noqa
+"""Good fixture: feature vectors see a sorted, stable ordering."""
+
+
+def feature_vector(cell, names):
+    return (cell, tuple(names))
+
+
+def featurize(cells, policies):
+    names = {p for p in policies}
+    return feature_vector(cells, sorted(names))

@@ -51,7 +51,7 @@ def messages(findings):
 # ---------------------------------------------------------------- registry
 
 
-def test_all_seven_rules_registered():
+def test_all_ten_rules_registered():
     rules = all_rules()
     assert sorted(rules) == [
         "RPR001",
@@ -61,6 +61,9 @@ def test_all_seven_rules_registered():
         "RPR005",
         "RPR006",
         "RPR007",
+        "RPR008",
+        "RPR009",
+        "RPR010",
     ]
     for rule in rules.values():
         assert rule.doc, f"{rule.code} has no docstring description"
@@ -227,6 +230,75 @@ def test_predicted_result_good_fixture_clean():
     assert lint_fixture("predicted_result_good", select=["RPR007"]) == []
 
 
+# -------------------------------------------- RPR008 nondeterminism taint
+
+
+def test_nondeterminism_taint_bad_fixture_fires():
+    findings = lint_fixture("nondeterminism_taint_bad", select=["RPR008"])
+    assert codes(findings) == ["RPR008"]
+    text = messages(findings)
+    assert "builtin hash()" in text
+    assert "cell_fingerprint() argument 2" in text
+    assert "os.environ" in text and "a journal record" in text
+    assert "unordered iteration" in text and "a sweep id" in text
+    assert "a surrogate feature vector" in text
+    assert (
+        "trace_fingerprint() returns a value influenced by wall-clock time"
+        in text
+    )
+    # hash->fingerprint arg, env->journal record, listdir->sweep id,
+    # set-order->feature vector, clock->trace_fingerprint return.
+    assert len(findings) == 5
+
+
+def test_nondeterminism_taint_good_fixture_clean():
+    # crc32 salts, sorted() listings and sorted set iteration launder
+    # every flow the bad fixture trips on.
+    assert lint_fixture("nondeterminism_taint_good", select=["RPR008"]) == []
+
+
+# ------------------------------------------- RPR009 durability protocol
+
+
+def test_durability_protocol_bad_fixture_fires():
+    findings = lint_fixture("durability_protocol_bad", select=["RPR009"])
+    assert codes(findings) == ["RPR009"]
+    text = messages(findings)
+    assert "raw write_text write touches lease state" in text
+    assert "raw open write touches journal state" in text
+    assert "passes a lease path into scribble()" in text
+    assert "raw os.unlink write touches trace state" in text
+    assert "O_CREAT|O_EXCL" in text and "CRC-framed" in text
+    # direct lease write, direct journal rewrite, call-mediated lease
+    # write through a helper, raw trace deletion.
+    assert len(findings) == 4
+
+
+def test_durability_protocol_good_fixture_clean():
+    # The blessed helpers themselves, the CRC appender module and
+    # TraceStore._quarantine are exempt — as are calls into them.
+    assert lint_fixture("durability_protocol_good", select=["RPR009"]) == []
+
+
+# --------------------------------------------- RPR010 exception safety
+
+
+def test_exception_safety_bad_fixture_fires():
+    findings = lint_fixture("exception_safety_bad", select=["RPR010"])
+    assert codes(findings) == ["RPR010"]
+    text = messages(findings)
+    assert "the worker/retry path" in text
+    assert "the coordinator path" in text
+    assert "the CLI path" in text
+    assert len(findings) == 3
+
+
+def test_exception_safety_good_fixture_clean():
+    # Re-raise, typed conversion through a SweepError-raising helper,
+    # a justified suppression and narrow handlers are all compliant.
+    assert lint_fixture("exception_safety_good", select=["RPR010"]) == []
+
+
 # ------------------------------------------------- suppression and walking
 
 
@@ -360,6 +432,33 @@ def test_cli_write_baseline_then_grandfathered_run(tmp_path):
     assert "::error" not in proc.stdout
 
 
+def test_cli_jobs_findings_byte_identical_across_hash_seeds(tmp_path):
+    """``--jobs`` fan-out must not leak scheduling or hash-seed order
+    into the report: two runs under different PYTHONHASHSEEDs, both
+    with ``--jobs 2``, produce byte-identical JSON."""
+    target = str(FIXTURES / "nondeterminism_taint_bad")
+    outputs = []
+    for seed in ("0", "1"):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        env["PYTHONHASHSEED"] = seed
+        env["REPRO_CACHE_DIR"] = str(tmp_path / "cache")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", target,
+             "--select", "RPR008", "--jobs", "2", "--output", "json"],
+            capture_output=True,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        outputs.append(proc.stdout)
+    assert outputs[0] == outputs[1]
+    assert json.loads(outputs[0])["new"] == 5
+
+
 def test_cli_missing_path_exits_two():
     proc = run_cli("does/not/exist")
     assert proc.returncode == 2
@@ -370,7 +469,7 @@ def test_cli_list_rules():
     proc = run_cli("--list-rules")
     assert proc.returncode == 0
     for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-                 "RPR006", "RPR007"):
+                 "RPR006", "RPR007", "RPR008", "RPR009", "RPR010"):
         assert code in proc.stdout
 
 
@@ -543,6 +642,62 @@ def test_predicted_result_cache_codec_reintroduction_fails_lint(
     findings = run_lint(Project(root=mutable_tree), select=["RPR007"])
     assert any(
         "PredictedResult.to_dict defined" in f.message for f in findings
+    )
+
+
+def test_reintroducing_salted_fingerprint_fails_lint(mutable_tree):
+    # The RPR008 shape: a hash()-derived salt slipped into the cell
+    # fingerprint payload through a helper call — invisible to the
+    # per-call RPR001 check at the fingerprint site itself.
+    reintroduce(
+        mutable_tree / "sim" / "parallel.py",
+        "def cell_fingerprint(",
+        "def _fp_salt(cell):\n"
+        "    return hash(cell.seed)\n\n\n"
+        "def cell_fingerprint(",
+    )
+    reintroduce(
+        mutable_tree / "sim" / "parallel.py",
+        '"seed": cell.seed,',
+        '"seed": _fp_salt(cell),',
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR008"])
+    assert any(
+        "cell_fingerprint() returns a value influenced by builtin hash()"
+        in f.message
+        for f in findings
+    )
+
+
+def test_raw_lease_write_reintroduction_fails_lint(mutable_tree):
+    # The RPR009 shape: lease state mutated outside the O_CREAT|O_EXCL
+    # + rename helpers, silently breaking steal arbitration.
+    path = mutable_tree / "sim" / "coordinator.py"
+    path.write_text(
+        path.read_text()
+        + "\n\ndef _force_release(lease_dir, key):\n"
+        '    (lease_dir / (key + ".lease")).write_text("")\n'
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR009"])
+    assert any(
+        "lease state in _force_release()" in f.message for f in findings
+    )
+
+
+def test_swallowed_worker_failure_reintroduction_fails_lint(mutable_tree):
+    # The RPR010 shape: dropping the typed-failure conversion from the
+    # serial worker's broad handler makes errors vanish silently.
+    reintroduce(
+        mutable_tree / "sim" / "parallel.py",
+        '''                self._fail(cells[index], keys[index], attempt,
+                           "error", exc, started)
+                return''',
+        "                return",
+    )
+    findings = run_lint(Project(root=mutable_tree), select=["RPR010"])
+    assert any(
+        "swallows failures in the worker/retry path" in f.message
+        for f in findings
     )
 
 
